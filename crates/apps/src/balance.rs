@@ -1,0 +1,198 @@
+//! Load-balance analysis and balanced chunk scheduling (§1.1,
+//! \[TF92\], \[HP93a\]).
+//!
+//! For a nest whose outermost loop is parallelized, the work each
+//! outer iteration performs is the count of the inner iterations —
+//! symbolic in the outer variable. A loop is *balanced* when that
+//! count does not depend on the outer variable; when it is not,
+//! *balanced chunk scheduling* assigns each processor a contiguous
+//! range of outer iterations carrying (nearly) equal work.
+
+use crate::loopnest::LoopNest;
+
+use presburger_counting::Symbolic;
+use presburger_omega::VarId;
+
+/// The per-outer-iteration work profile of a nest.
+#[derive(Clone, Debug)]
+pub struct WorkProfile {
+    /// The parallel (outer) loop variable.
+    pub outer: VarId,
+    /// Inner-iteration count as a function of `outer` and the symbols.
+    pub per_iteration: Symbolic,
+    /// Total iteration count (all loops).
+    pub total: Symbolic,
+}
+
+/// Computes the work profile of `nest` with `outer` as the parallel
+/// loop.
+///
+/// # Panics
+///
+/// Panics if the iteration space is unbounded.
+pub fn work_profile(nest: &LoopNest, outer: VarId) -> WorkProfile {
+    WorkProfile {
+        outer,
+        per_iteration: nest.count_inner(&[outer]),
+        total: nest.iteration_count(),
+    }
+}
+
+impl WorkProfile {
+    /// A loop is balanced when the per-iteration work is independent of
+    /// the outer variable (§1.1 "determine whether a parallel loop is
+    /// load balanced").
+    ///
+    /// Guards may mention the outer variable (they encode which outer
+    /// iterations exist at all); balance requires the *values* to be
+    /// independent of it, and — when several pieces have outer-dependent
+    /// guards — identical across pieces.
+    pub fn is_balanced(&self) -> bool {
+        let pieces = self.per_iteration.value.pieces();
+        if pieces.iter().any(|p| p.value.mentions(self.outer)) {
+            return false;
+        }
+        // different outer iterations could fall into different pieces;
+        // that is only balanced if all pieces carry the same value
+        let outer_dependent = pieces
+            .iter()
+            .filter(|p| p.guard.mentions(self.outer))
+            .count();
+        if outer_dependent > 1 {
+            let first = &pieces[0].value;
+            return pieces.iter().all(|p| p.value == *first);
+        }
+        true
+    }
+
+    /// Evaluates the work of one outer iteration numerically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a needed symbol is missing from `bindings`.
+    pub fn work_at(&self, outer_value: i64, bindings: &[(&str, i64)]) -> i64 {
+        let name = self.per_iteration.space.name(self.outer).to_string();
+        let mut all: Vec<(&str, i64)> = bindings.to_vec();
+        all.push((name.as_str(), outer_value));
+        self.per_iteration.eval_i64(&all).expect("integral work")
+    }
+
+    /// Balanced chunk scheduling (\[HP93a\]): splits the outer range
+    /// `lo..=hi` into `procs` contiguous chunks with near-equal total
+    /// work. Returns `(start, end)` per processor (empty chunks are
+    /// `(s, s−1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0` or a needed symbol binding is missing.
+    pub fn balanced_chunks(
+        &self,
+        lo: i64,
+        hi: i64,
+        procs: u32,
+        bindings: &[(&str, i64)],
+    ) -> Vec<(i64, i64)> {
+        assert!(procs > 0, "need at least one processor");
+        // prefix(p) = work of iterations lo..=p, computed incrementally
+        let mut prefix = Vec::with_capacity((hi - lo + 2).max(1) as usize);
+        prefix.push(0i64);
+        let mut acc = 0i64;
+        for p in lo..=hi {
+            acc += self.work_at(p, bindings);
+            prefix.push(acc);
+        }
+        let total = acc;
+        let mut chunks = Vec::with_capacity(procs as usize);
+        let mut start_idx = 0usize; // index into prefix (iteration lo+start_idx)
+        for k in 1..=procs as i64 {
+            let target = total * k / procs as i64;
+            // advance end until prefix >= target
+            let mut end_idx = start_idx;
+            while end_idx < (hi - lo + 1) as usize && prefix[end_idx] < target {
+                end_idx += 1;
+            }
+            chunks.push((lo + start_idx as i64, lo + end_idx as i64 - 1));
+            start_idx = end_idx;
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_omega::Affine;
+
+    fn triangular() -> (LoopNest, VarId) {
+        // for i = 1..n { for j = i..n } — work(i) = n − i + 1
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+        (nest, i)
+    }
+
+    #[test]
+    fn triangular_is_unbalanced() {
+        let (nest, i) = triangular();
+        let wp = work_profile(&nest, i);
+        assert!(!wp.is_balanced());
+        assert_eq!(wp.work_at(1, &[("n", 10)]), 10);
+        assert_eq!(wp.work_at(10, &[("n", 10)]), 1);
+        assert_eq!(wp.total.eval_i64(&[("n", 10)]), Some(55));
+    }
+
+    #[test]
+    fn rectangular_is_balanced() {
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let _j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+        let wp = work_profile(&nest, i);
+        assert!(wp.is_balanced());
+    }
+
+    #[test]
+    fn chunks_cover_range_and_balance_work() {
+        let (nest, i) = triangular();
+        let wp = work_profile(&nest, i);
+        let n = 100i64;
+        let procs = 4u32;
+        let chunks = wp.balanced_chunks(1, n, procs, &[("n", n)]);
+        assert_eq!(chunks.len(), procs as usize);
+        // coverage: contiguous, no gaps
+        assert_eq!(chunks[0].0, 1);
+        assert_eq!(chunks.last().unwrap().1, n);
+        for w in chunks.windows(2) {
+            assert_eq!(w[1].0, w[0].1 + 1);
+        }
+        // balance: every chunk within 10% of ideal + one iteration
+        let total: i64 = 100 * 101 / 2;
+        let ideal = total / procs as i64;
+        for &(s, e) in &chunks {
+            let work: i64 = (s..=e).map(|p| wp.work_at(p, &[("n", n)])).sum();
+            assert!(
+                (work - ideal).abs() <= ideal / 10 + 100,
+                "chunk ({s},{e}) has work {work}, ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_match_naive_partitioner() {
+        let (nest, i) = triangular();
+        let wp = work_profile(&nest, i);
+        let chunks = wp.balanced_chunks(1, 10, 3, &[("n", 10)]);
+        let total: i64 = 55;
+        // cumulative boundaries at ceil-like points of total*k/3
+        let mut acc = 0;
+        let mut k = 0usize;
+        for p in 1..=10i64 {
+            acc += 10 - p + 1;
+            if k < 2 && acc >= total * (k as i64 + 1) / 3 {
+                assert!(chunks[k].1 == p, "boundary {k} at {p}, got {:?}", chunks);
+                k += 1;
+            }
+        }
+    }
+}

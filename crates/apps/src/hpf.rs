@@ -1,0 +1,303 @@
+//! HPF block-cyclic distributions (§3.3).
+//!
+//! A one-dimensional template `T(0:S−1)` distributed block-cyclically
+//! over `P` processors with blocks of `B` maps template cell `t` to
+//! processor `p` and local coordinates `(c, l)` through
+//!
+//! ```text
+//! t = l + B·p + B·P·c   ∧   0 ≤ l < B   ∧   0 ≤ p < P   ∧   0 ≤ c
+//! ```
+//!
+//! — exactly the nonlinear-constraint example of §3.3 (the paper's
+//! `T(0:1024)`, 8 processors, blocks of 4). Counting solutions of this
+//! mapping answers ownership and message-buffer-sizing questions.
+
+use presburger_counting::{try_count_solutions, CountOptions, Symbolic};
+use presburger_omega::{Affine, Formula, Space, VarId};
+
+/// A one-dimensional block-cyclic distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockCyclic {
+    /// Number of processors `P`.
+    pub procs: i64,
+    /// Block size `B`.
+    pub block: i64,
+}
+
+impl BlockCyclic {
+    /// Creates a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs < 1` or `block < 1`.
+    pub fn new(procs: i64, block: i64) -> BlockCyclic {
+        assert!(procs >= 1 && block >= 1, "invalid distribution");
+        BlockCyclic { procs, block }
+    }
+
+    /// The mapping formula relating a template index `t` to
+    /// `(p, c, l)`.
+    pub fn mapping(&self, t: VarId, p: VarId, c: VarId, l: VarId) -> Formula {
+        Formula::and(vec![
+            Formula::eq(
+                Affine::var(t),
+                Affine::var(l)
+                    + Affine::term(p, self.block)
+                    + Affine::term(c, self.block * self.procs),
+            ),
+            Formula::between(
+                Affine::constant(0),
+                l,
+                Affine::constant(self.block - 1),
+            ),
+            Formula::between(
+                Affine::constant(0),
+                p,
+                Affine::constant(self.procs - 1),
+            ),
+            Formula::le(Affine::constant(0), Affine::var(c)),
+        ])
+    }
+
+    /// Counts the template cells of `lo ≤ t ≤ hi` owned by processor
+    /// `p` — symbolically in `p` and whatever symbols the bounds
+    /// mention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is unbounded.
+    pub fn elements_on_processor(
+        &self,
+        space: &Space,
+        lo: Affine,
+        hi: Affine,
+        p: VarId,
+    ) -> Symbolic {
+        let mut space = space.clone();
+        let t = space.fresh("t");
+        let c = space.fresh("c");
+        let l = space.fresh("l");
+        let f = Formula::and(vec![
+            Formula::between(lo, t, hi),
+            Formula::exists(vec![c, l], self.mapping(t, p, c, l)),
+        ]);
+        try_count_solutions(&space, &f, &[t], &CountOptions::default())
+            .unwrap_or_else(|e| panic!("ownership not countable: {e}"))
+    }
+
+    /// The owner processor of template cell `t` (concrete helper).
+    pub fn owner(&self, t: i64) -> i64 {
+        (t / self.block).rem_euclid(self.procs)
+    }
+
+    /// Communication volume under the owner-computes rule (§1.1:
+    /// "the array elements that need to be transmitted from one
+    /// processor to another").
+    ///
+    /// For the loop `for i = lo..=hi { a[write_sub(i)] ⊕= b[read_sub(i)] }`
+    /// with both arrays distributed by `self`, counts the **distinct**
+    /// elements of `b` that processor `q` must send to processor `p`
+    /// (the receive-buffer size), symbolically in `p`, `q` and any
+    /// symbols in the bounds/subscripts. Elements already local
+    /// (`p = q`) are included; callers typically evaluate at `p ≠ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume is not countable (unbounded iteration
+    /// range).
+    #[allow(clippy::too_many_arguments)]
+    pub fn comm_volume(
+        &self,
+        space: &Space,
+        lo: Affine,
+        hi: Affine,
+        iter_hint: &str,
+        write_sub: &dyn Fn(VarId) -> Affine,
+        read_sub: &dyn Fn(VarId) -> Affine,
+        p: VarId,
+        q: VarId,
+    ) -> Symbolic {
+        let mut space = space.clone();
+        let i = space.fresh(iter_hint);
+        let e = space.fresh("e");
+        let wt = space.fresh("wt");
+        let (c1, l1) = (space.fresh("c"), space.fresh("l"));
+        let (c2, l2) = (space.fresh("c"), space.fresh("l"));
+        let f = Formula::exists(
+            vec![i, wt, c1, l1, c2, l2],
+            Formula::and(vec![
+                Formula::between(lo, i, hi),
+                Formula::eq(Affine::var(e), read_sub(i)),
+                Formula::eq(Affine::var(wt), write_sub(i)),
+                self.mapping(wt, p, c1, l1), // iteration executed by p
+                self.mapping(e, q, c2, l2),  // element owned by q
+            ]),
+        );
+        try_count_solutions(&space, &f, &[e], &CountOptions::default())
+            .unwrap_or_else(|err| panic!("communication volume not countable: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_arith::Int;
+
+    /// §3.3: T(0:1024) distributed over 8 processors in blocks of 4:
+    /// "elements T(0:3) are mapped to processor 0, T(4:7) to processor
+    /// 1, T(28:31) to processor 7, and T(32:35) to processor 0 again".
+    #[test]
+    fn paper_33_examples() {
+        let d = BlockCyclic::new(8, 4);
+        for t in 0..=3 {
+            assert_eq!(d.owner(t), 0);
+        }
+        for t in 4..=7 {
+            assert_eq!(d.owner(t), 1);
+        }
+        for t in 28..=31 {
+            assert_eq!(d.owner(t), 7);
+        }
+        for t in 32..=35 {
+            assert_eq!(d.owner(t), 0);
+        }
+    }
+
+    /// The mapping is a bijection: each `t` has exactly one `(p, c, l)`.
+    #[test]
+    fn mapping_is_one_to_one() {
+        let d = BlockCyclic::new(8, 4);
+        let mut s = Space::new();
+        let t = s.var("t");
+        let p = s.var("p");
+        let c = s.var("c");
+        let l = s.var("l");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(0), t, Affine::constant(100)),
+            d.mapping(t, p, c, l),
+        ]);
+        // counting (p, c, l, t) equals counting t alone (101 cells)
+        let quad = try_count_solutions(&s, &f, &[t, p, c, l], &CountOptions::default())
+            .unwrap();
+        assert_eq!(quad.eval_i64(&[]), Some(101));
+    }
+
+    /// Ownership counts per processor over T(0:1024): 1025 cells in
+    /// blocks of 4 over 8 processors.
+    #[test]
+    fn ownership_counts() {
+        let d = BlockCyclic::new(8, 4);
+        let s = Space::new();
+        let mut s2 = s.clone();
+        let p = s2.var("p");
+        let count = d.elements_on_processor(
+            &s2,
+            Affine::constant(0),
+            Affine::constant(1024),
+            p,
+        );
+        let mut total = 0i64;
+        for pv in 0..8i64 {
+            let got = count.eval_i64(&[("p", pv)]).unwrap();
+            let brute = (0..=1024).filter(|&t| d.owner(t) == pv).count() as i64;
+            assert_eq!(got, brute, "p={pv}");
+            total += got;
+        }
+        assert_eq!(total, 1025);
+    }
+
+    /// Shift communication a[i] ⊕= b[i+3]: the volume q→p matches a
+    /// brute-force owner-computes simulation.
+    #[test]
+    fn shift_comm_volume_matches_simulation() {
+        let d = BlockCyclic::new(4, 2);
+        let s = Space::new();
+        let mut s2 = s.clone();
+        let p = s2.var("p");
+        let q = s2.var("q");
+        let vol = d.comm_volume(
+            &s2,
+            Affine::constant(0),
+            Affine::constant(39),
+            "i",
+            &|i| Affine::var(i),
+            &|i| Affine::var(i) + Affine::constant(3),
+            p,
+            q,
+        );
+        for pv in 0..4i64 {
+            for qv in 0..4i64 {
+                let mut needed = std::collections::BTreeSet::new();
+                for iv in 0..=39i64 {
+                    let writer = d.owner(iv);
+                    let elem = iv + 3;
+                    if writer == pv && d.owner(elem) == qv {
+                        needed.insert(elem);
+                    }
+                }
+                assert_eq!(
+                    vol.eval_i64(&[("p", pv), ("q", qv)]),
+                    Some(needed.len() as i64),
+                    "p={pv} q={qv}"
+                );
+            }
+        }
+    }
+
+    /// A stride-2 gather a[i] ⊕= b[2i] also matches.
+    #[test]
+    fn strided_comm_volume_matches_simulation() {
+        let d = BlockCyclic::new(3, 2);
+        let s = Space::new();
+        let mut s2 = s.clone();
+        let p = s2.var("p");
+        let q = s2.var("q");
+        let vol = d.comm_volume(
+            &s2,
+            Affine::constant(0),
+            Affine::constant(20),
+            "i",
+            &|i| Affine::var(i),
+            &|i| Affine::term(i, 2),
+            p,
+            q,
+        );
+        for pv in 0..3i64 {
+            for qv in 0..3i64 {
+                let mut needed = std::collections::BTreeSet::new();
+                for iv in 0..=20i64 {
+                    if d.owner(iv) == pv && d.owner(2 * iv) == qv {
+                        needed.insert(2 * iv);
+                    }
+                }
+                assert_eq!(
+                    vol.eval_i64(&[("p", pv), ("q", qv)]),
+                    Some(needed.len() as i64),
+                    "p={pv} q={qv}"
+                );
+            }
+        }
+    }
+
+    /// Symbolic in the region bound: buffer sizing for a send of
+    /// a(0..=n) as a function of n and p.
+    #[test]
+    fn symbolic_buffer_size() {
+        let d = BlockCyclic::new(4, 2);
+        let mut s = Space::new();
+        let n = s.var("n");
+        let p = s.var("p");
+        let count = d.elements_on_processor(&s, Affine::constant(0), Affine::var(n), p);
+        for nv in 0i64..=20 {
+            for pv in 0..4i64 {
+                let brute = (0..=nv).filter(|&t| d.owner(t) == pv).count() as i64;
+                assert_eq!(
+                    count.eval_i64(&[("n", nv), ("p", pv)]),
+                    Some(brute),
+                    "n={nv} p={pv}"
+                );
+            }
+        }
+        let _ = Int::zero();
+    }
+}

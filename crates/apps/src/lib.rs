@@ -1,0 +1,44 @@
+//! Compiler-analysis applications of Presburger counting (§1.1, §6).
+//!
+//! The "why" of the paper: once `(Σ V : P : z)` can be computed
+//! symbolically, a compiler can
+//!
+//! * estimate the execution time of a loop nest
+//!   ([`LoopNest::iteration_count`]);
+//! * count flops, weighted by per-iteration work ([`LoopNest::sum`]);
+//! * count the distinct memory locations or cache lines a nest touches
+//!   ([`distinct_locations`], [`distinct_cache_lines`]);
+//! * decide whether a parallel loop is load balanced, and schedule
+//!   balanced chunks ([`work_profile`], [`WorkProfile`]);
+//! * analyze HPF block-cyclic distributions and size message buffers
+//!   ([`BlockCyclic`]).
+//!
+//! # Example
+//!
+//! ```
+//! use presburger_apps::LoopNest;
+//! use presburger_omega::Affine;
+//!
+//! let mut nest = LoopNest::new();
+//! let n = nest.symbol("n");
+//! let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+//! let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+//! assert_eq!(nest.iteration_count().eval_i64(&[("n", 100)]), Some(5050));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balance;
+mod dependence;
+mod hpf;
+mod loopnest;
+mod memory;
+mod uniform;
+
+pub use balance::{work_profile, WorkProfile};
+pub use dependence::{dependence_formula, Dependence};
+pub use hpf::BlockCyclic;
+pub use loopnest::{ArrayRef, Loop, LoopNest, Statement};
+pub use memory::{distinct_cache_lines, distinct_locations, distinct_locations_naive};
+pub use uniform::{describe_group, group_uniformly_generated, UniformGroup};

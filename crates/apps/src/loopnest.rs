@@ -1,0 +1,481 @@
+//! Affine loop-nest modelling (§1.1).
+//!
+//! A [`LoopNest`] describes a nest of `for` loops with affine bounds,
+//! strides and guards — the program fragments the paper's applications
+//! analyze. The iteration space is a Presburger formula, so counting
+//! iterations (execution-time estimation), flops, or any polynomial
+//! quantity is a direct application of the counting engine.
+
+use presburger_counting::{try_sum_polynomial, CountOptions, Symbolic};
+use presburger_omega::{Affine, Formula, Space, VarId};
+use presburger_polyq::QPoly;
+
+/// One loop level: `for var = max(lowers) .. min(uppers) step step`.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop variable.
+    pub var: VarId,
+    /// Lower bound expressions (the loop starts at their maximum).
+    pub lowers: Vec<Affine>,
+    /// Upper bound expressions (the loop ends at their minimum).
+    pub uppers: Vec<Affine>,
+    /// The loop step (≥ 1).
+    pub step: i64,
+}
+
+/// An array reference `array(subscripts…)` inside the nest body.
+#[derive(Clone, Debug)]
+pub struct ArrayRef {
+    /// Array name (references to different arrays never alias).
+    pub array: String,
+    /// Affine subscript expressions, one per dimension.
+    pub subscripts: Vec<Affine>,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    pub fn new(array: impl Into<String>, subscripts: Vec<Affine>) -> ArrayRef {
+        ArrayRef {
+            array: array.into(),
+            subscripts,
+        }
+    }
+}
+
+/// A statement in the nest body: optionally guarded, with a flop cost
+/// (possibly depending on the loop variables) and the array references
+/// it makes.
+#[derive(Clone, Debug)]
+pub struct Statement {
+    /// Extra condition under which the statement executes (an `if` in
+    /// the body), or `None` for unconditional statements.
+    pub guard: Option<Formula>,
+    /// Floating-point operations performed per execution.
+    pub flops: QPoly,
+    /// Array references made by the statement.
+    pub refs: Vec<ArrayRef>,
+}
+
+impl Statement {
+    /// An unconditional statement with a constant flop count.
+    pub fn simple(flops: i64, refs: Vec<ArrayRef>) -> Statement {
+        Statement {
+            guard: None,
+            flops: QPoly::constant(presburger_arith::Rat::from(flops)),
+            refs,
+        }
+    }
+}
+
+/// An affine loop nest with optional guards.
+///
+/// ```
+/// use presburger_apps::LoopNest;
+/// use presburger_omega::Affine;
+///
+/// // for i = 1..n { for j = i..n { … } }
+/// let mut nest = LoopNest::new();
+/// let n = nest.symbol("n");
+/// let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+/// let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+/// let count = nest.iteration_count();
+/// assert_eq!(count.eval_i64(&[("n", 10)]), Some(55));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LoopNest {
+    space: Space,
+    loops: Vec<Loop>,
+    guards: Vec<Formula>,
+    statements: Vec<Statement>,
+}
+
+impl LoopNest {
+    /// Creates an empty nest.
+    pub fn new() -> LoopNest {
+        LoopNest::default()
+    }
+
+    /// Interns a symbolic constant (e.g. a problem size).
+    pub fn symbol(&mut self, name: &str) -> VarId {
+        self.space.var(name)
+    }
+
+    /// Adds an innermost loop `for var = lower..=upper` (step 1).
+    pub fn add_loop(&mut self, var: &str, lower: Affine, upper: Affine) -> VarId {
+        self.add_loop_strided(var, lower, upper, 1)
+    }
+
+    /// Adds an innermost loop with a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step < 1`.
+    pub fn add_loop_strided(
+        &mut self,
+        var: &str,
+        lower: Affine,
+        upper: Affine,
+        step: i64,
+    ) -> VarId {
+        assert!(step >= 1, "loop step must be >= 1");
+        let v = self.space.var(var);
+        self.loops.push(Loop {
+            var: v,
+            lowers: vec![lower],
+            uppers: vec![upper],
+            step,
+        });
+        v
+    }
+
+    /// Adds an extra lower bound to the innermost loop
+    /// (`max(l₁, l₂, …)` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop has been added yet.
+    pub fn also_lower(&mut self, bound: Affine) {
+        self.loops
+            .last_mut()
+            .expect("no loop to bound")
+            .lowers
+            .push(bound);
+    }
+
+    /// Adds an extra upper bound to the innermost loop
+    /// (`min(u₁, u₂, …)` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop has been added yet.
+    pub fn also_upper(&mut self, bound: Affine) {
+        self.loops
+            .last_mut()
+            .expect("no loop to bound")
+            .uppers
+            .push(bound);
+    }
+
+    /// Adds an arbitrary guard formula restricting the iteration space
+    /// (e.g. an `if` inside the nest).
+    pub fn guard(&mut self, f: Formula) {
+        self.guards.push(f);
+    }
+
+    /// The loop variables, outermost first.
+    pub fn loop_vars(&self) -> Vec<VarId> {
+        self.loops.iter().map(|l| l.var).collect()
+    }
+
+    /// The underlying variable space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Mutable access to the space (for building subscripts/guards with
+    /// fresh variables).
+    pub fn space_mut(&mut self) -> &mut Space {
+        &mut self.space
+    }
+
+    /// The iteration-space formula: bounds, strides and guards.
+    pub fn iteration_space(&self) -> Formula {
+        let mut parts = Vec::new();
+        for l in &self.loops {
+            for lo in &l.lowers {
+                parts.push(Formula::le(lo.clone(), Affine::var(l.var)));
+            }
+            for hi in &l.uppers {
+                parts.push(Formula::le(Affine::var(l.var), hi.clone()));
+            }
+            if l.step > 1 {
+                // var ≡ max-lower (mod step); with several lower bounds
+                // the stride is anchored at the first
+                let anchor = &l.lowers[0];
+                parts.push(Formula::stride(
+                    l.step,
+                    Affine::var(l.var) - anchor.clone(),
+                ));
+            }
+        }
+        parts.extend(self.guards.iter().cloned());
+        Formula::and(parts)
+    }
+
+    /// Counts the iterations of the nest symbolically — the paper's
+    /// execution-time estimate (§1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration space is unbounded.
+    pub fn iteration_count(&self) -> Symbolic {
+        self.sum(&QPoly::one())
+    }
+
+    /// Sums `poly` over the iterations (e.g. per-iteration flop counts
+    /// that depend on loop variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration space is unbounded.
+    pub fn sum(&self, poly: &QPoly) -> Symbolic {
+        try_sum_polynomial(
+            &self.space,
+            &self.iteration_space(),
+            &self.loop_vars(),
+            poly,
+            &CountOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("loop nest is not countable: {e}"))
+    }
+
+    /// Adds a body statement.
+    pub fn add_statement(&mut self, stmt: Statement) {
+        self.statements.push(stmt);
+    }
+
+    /// The body statements.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// All references the body makes to `array`, across statements.
+    pub fn refs_to(&self, array: &str) -> Vec<ArrayRef> {
+        self.statements
+            .iter()
+            .flat_map(|s| s.refs.iter())
+            .filter(|r| r.array == array)
+            .cloned()
+            .collect()
+    }
+
+    /// Total flops executed by the nest: the sum over statements of
+    /// their flop polynomial over the iterations where they execute
+    /// (§1.1 "the flops executed by a loop").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration space is unbounded or no statements
+    /// were added.
+    pub fn total_flops(&self) -> Symbolic {
+        assert!(
+            !self.statements.is_empty(),
+            "no statements: use sum() for a raw per-iteration cost"
+        );
+        let base = self.iteration_space();
+        let vars = self.loop_vars();
+        let mut acc: Option<Symbolic> = None;
+        for stmt in &self.statements {
+            let f = match &stmt.guard {
+                Some(g) => Formula::and(vec![base.clone(), g.clone()]),
+                None => base.clone(),
+            };
+            let part = try_sum_polynomial(
+                &self.space,
+                &f,
+                &vars,
+                &stmt.flops,
+                &CountOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("flop count failed: {e}"));
+            acc = Some(match acc {
+                None => part,
+                Some(mut total) => {
+                    total.value.add(part.value);
+                    // spaces may have diverged by fresh wildcards; the
+                    // later one is a superset (same interning order)
+                    total.space = part.space;
+                    total
+                }
+            });
+        }
+        let mut out = acc.expect("at least one statement");
+        out.value.compact();
+        out
+    }
+
+    /// Counts iterations with some loop variables treated symbolically
+    /// (e.g. the outer parallel loop in a load-balance query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduced iteration space is unbounded.
+    pub fn count_inner(&self, outer: &[VarId]) -> Symbolic {
+        let vars: Vec<VarId> = self
+            .loop_vars()
+            .into_iter()
+            .filter(|v| !outer.contains(v))
+            .collect();
+        try_sum_polynomial(
+            &self.space,
+            &self.iteration_space(),
+            &vars,
+            &QPoly::one(),
+            &CountOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("loop nest is not countable: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_nest() {
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+        let c = nest.iteration_count();
+        assert_eq!(c.eval_i64(&[("n", 10)]), Some(55));
+        assert_eq!(c.eval_i64(&[("n", 1)]), Some(1));
+        assert_eq!(c.eval_i64(&[("n", -5)]), Some(0));
+    }
+
+    #[test]
+    fn strided_loop() {
+        // for i = 0..n step 3
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let _i = nest.add_loop_strided("i", Affine::constant(0), Affine::var(n), 3);
+        let c = nest.iteration_count();
+        for nv in -1i64..=12 {
+            let expected = if nv >= 0 { nv / 3 + 1 } else { 0 };
+            assert_eq!(c.eval_i64(&[("n", nv)]), Some(expected), "n={nv}");
+        }
+    }
+
+    #[test]
+    fn guarded_nest() {
+        // for i = 1..n { for j = 1..n { if i+j <= n { … } } }
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+        nest.guard(Formula::le(
+            Affine::var(i) + Affine::var(j),
+            Affine::var(n),
+        ));
+        let c = nest.iteration_count();
+        // triangle with i+j <= n, i,j >= 1: n(n-1)/2 points
+        assert_eq!(c.eval_i64(&[("n", 5)]), Some(10));
+        assert_eq!(c.eval_i64(&[("n", 2)]), Some(1));
+        assert_eq!(c.eval_i64(&[("n", 1)]), Some(0));
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        // for i = max(1, m)..min(n, 10)
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let m = nest.symbol("m");
+        let _i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        nest.also_lower(Affine::var(m));
+        nest.also_upper(Affine::constant(10));
+        let c = nest.iteration_count();
+        for nv in 0i64..=14 {
+            for mv in -3i64..=14 {
+                let lo = 1.max(mv);
+                let hi = nv.min(10);
+                let expected = (hi - lo + 1).max(0);
+                assert_eq!(
+                    c.eval_i64(&[("n", nv), ("m", mv)]),
+                    Some(expected),
+                    "n={nv} m={mv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_flop_sum() {
+        // inner work proportional to i: Σ_{i=1}^{n} i
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let c = nest.sum(&QPoly::var(i));
+        assert_eq!(c.eval_i64(&[("n", 100)]), Some(5050));
+    }
+
+    #[test]
+    fn statements_and_total_flops() {
+        // SOR body: one statement, 6 flops, 5 references
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("N");
+        let i = nest.add_loop(
+            "i",
+            Affine::constant(2),
+            Affine::var(n) - Affine::constant(1),
+        );
+        let j = nest.add_loop(
+            "j",
+            Affine::constant(2),
+            Affine::var(n) - Affine::constant(1),
+        );
+        let at = |di: i64, dj: i64| {
+            ArrayRef::new(
+                "a",
+                vec![
+                    Affine::var(i) + Affine::constant(di),
+                    Affine::var(j) + Affine::constant(dj),
+                ],
+            )
+        };
+        nest.add_statement(Statement::simple(
+            6,
+            vec![at(0, 0), at(-1, 0), at(1, 0), at(0, -1), at(0, 1)],
+        ));
+        let flops = nest.total_flops();
+        assert_eq!(flops.eval_i64(&[("N", 500)]), Some(6 * 498 * 498));
+        assert_eq!(nest.refs_to("a").len(), 5);
+        assert_eq!(nest.refs_to("b").len(), 0);
+    }
+
+    #[test]
+    fn guarded_statements_split_flop_counts() {
+        // for i = 1..n: 2 flops always, plus 10 flops when i is in the
+        // first half (i ≤ n/2 modeled as 2i ≤ n)
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        nest.add_statement(Statement::simple(2, vec![]));
+        nest.add_statement(Statement {
+            guard: Some(Formula::le(Affine::term(i, 2), Affine::var(n))),
+            flops: QPoly::constant(presburger_arith::Rat::from(10)),
+            refs: vec![],
+        });
+        let flops = nest.total_flops();
+        for nv in 0i64..=12 {
+            let expect = 2 * nv.max(0) + 10 * ((nv / 2).max(0));
+            assert_eq!(flops.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+        }
+    }
+
+    #[test]
+    fn variable_cost_statement() {
+        // triangular solve: row i costs 2i flops
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        nest.add_statement(Statement {
+            guard: None,
+            flops: QPoly::var(i).scale(&presburger_arith::Rat::from(2)),
+            refs: vec![],
+        });
+        let flops = nest.total_flops();
+        assert_eq!(flops.eval_i64(&[("n", 100)]), Some(100 * 101));
+    }
+
+    #[test]
+    fn count_inner_for_load_balance() {
+        // for i = 1..n { for j = i..n } — inner count = n - i + 1
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("n");
+        let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+        let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+        let per_i = nest.count_inner(&[i]);
+        assert_eq!(per_i.eval_i64(&[("n", 10), ("i", 4)]), Some(7));
+        assert_eq!(per_i.eval_i64(&[("n", 10), ("i", 11)]), Some(0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Grouping array references into uniformly generated sets (§5.1).
+//!
+//! References like `a(i,j)`, `a(i-1,j)`, `a(i+1,j)` differ only in
+//! constant offsets — a *uniformly generated set* \[GJ88\]. The set of
+//! elements they touch is summarized as the integer points of the
+//! convex hull of the offsets (plus strides), which keeps the
+//! memory-footprint formula to a single clause instead of one clause
+//! per reference.
+
+use crate::loopnest::ArrayRef;
+use presburger_omega::hull::{summarize_offsets, OffsetSummary};
+use presburger_omega::{Affine, Space, VarId};
+
+/// A maximal set of references with identical linear subscript parts.
+#[derive(Clone, Debug)]
+pub struct UniformGroup {
+    /// Array name.
+    pub array: String,
+    /// The shared linear parts (subscripts with constants removed).
+    pub linear: Vec<Affine>,
+    /// One constant offset vector per reference in the group.
+    pub offsets: Vec<Vec<i64>>,
+}
+
+impl UniformGroup {
+    /// Summarizes the group's offsets (§5.1.1 method 2). Returns `None`
+    /// when an offset does not fit in `i64` or the dimension exceeds 3.
+    pub fn summarize(&self, delta_vars: &[VarId]) -> Option<OffsetSummary> {
+        if self.linear.len() > 3 {
+            return None;
+        }
+        Some(summarize_offsets(&self.offsets, delta_vars))
+    }
+}
+
+/// Groups references to the same array by their linear subscript parts.
+///
+/// ```
+/// use presburger_apps::{group_uniformly_generated, ArrayRef};
+/// use presburger_omega::{Affine, Space};
+///
+/// let mut s = Space::new();
+/// let i = s.var("i");
+/// let refs = vec![
+///     ArrayRef::new("a", vec![Affine::var(i)]),
+///     ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(1)]),
+/// ];
+/// let groups = group_uniformly_generated(&refs);
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].offsets.len(), 2);
+/// ```
+pub fn group_uniformly_generated(refs: &[ArrayRef]) -> Vec<UniformGroup> {
+    let mut groups: Vec<UniformGroup> = Vec::new();
+    for r in refs {
+        let mut linear = Vec::with_capacity(r.subscripts.len());
+        let mut offset = Vec::with_capacity(r.subscripts.len());
+        let mut representable = true;
+        for s in &r.subscripts {
+            let mut lin = s.clone();
+            let c = lin.constant_term().clone();
+            lin.add_constant(&-c.clone());
+            match c.to_i64() {
+                Some(v) => offset.push(v),
+                None => representable = false,
+            }
+            linear.push(lin);
+        }
+        if !representable {
+            // enormous constants: put the reference in its own group
+            groups.push(UniformGroup {
+                array: r.array.clone(),
+                linear: r.subscripts.clone(),
+                offsets: vec![vec![0; r.subscripts.len()]],
+            });
+            continue;
+        }
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|g| g.array == r.array && g.linear == linear)
+        {
+            if !g.offsets.contains(&offset) {
+                g.offsets.push(offset);
+            }
+        } else {
+            groups.push(UniformGroup {
+                array: r.array.clone(),
+                linear,
+                offsets: vec![offset],
+            });
+        }
+    }
+    groups
+}
+
+/// Renders a group for diagnostics.
+pub fn describe_group(g: &UniformGroup, space: &Space) -> String {
+    let lin: Vec<String> = g.linear.iter().map(|e| e.to_string(space)).collect();
+    format!(
+        "{}[{}] with {} offsets",
+        g.array,
+        lin.join(", "),
+        g.offsets.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sor_refs(space: &mut Space) -> Vec<ArrayRef> {
+        let i = space.var("i");
+        let j = space.var("j");
+        let a = |di: i64, dj: i64| {
+            ArrayRef::new(
+                "a",
+                vec![
+                    Affine::var(i) + Affine::constant(di),
+                    Affine::var(j) + Affine::constant(dj),
+                ],
+            )
+        };
+        vec![a(0, 0), a(-1, 0), a(1, 0), a(0, -1), a(0, 1)]
+    }
+
+    #[test]
+    fn sor_is_one_group() {
+        let mut s = Space::new();
+        let refs = sor_refs(&mut s);
+        let groups = group_uniformly_generated(&refs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].offsets.len(), 5);
+        let d0 = s.var("d0");
+        let d1 = s.var("d1");
+        let sum = groups[0].summarize(&[d0, d1]).unwrap();
+        assert!(sum.exact, "SOR stencil summarizes exactly");
+    }
+
+    #[test]
+    fn different_linear_parts_split() {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let refs = vec![
+            ArrayRef::new("a", vec![Affine::var(i)]),
+            ArrayRef::new("a", vec![Affine::term(i, 2)]),
+            ArrayRef::new("b", vec![Affine::var(i)]),
+        ];
+        let groups = group_uniformly_generated(&refs);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_offsets_are_merged() {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let refs = vec![
+            ArrayRef::new("a", vec![Affine::var(i)]),
+            ArrayRef::new("a", vec![Affine::var(i)]),
+        ];
+        let groups = group_uniformly_generated(&refs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].offsets.len(), 1);
+    }
+}

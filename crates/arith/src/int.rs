@@ -1,0 +1,919 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`Int`] keeps values that fit in an `i128` inline (the overwhelmingly
+//! common case for constraint coefficients) and transparently spills to a
+//! sign-magnitude little-endian `u64`-limb representation when an
+//! operation overflows. The canonical-form invariant — *small iff the
+//! value fits in `i128`* — makes structural equality and hashing agree
+//! with numeric equality.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use presburger_arith::Int;
+///
+/// let a = Int::from(10).pow(40);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string().len(), 81);
+/// assert_eq!(&b / &a, a);
+/// ```
+#[derive(Clone)]
+pub struct Int(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Small(i128),
+    /// Magnitude does not fit in `i128`. Invariants: limbs are
+    /// little-endian, no trailing zero limb, magnitude > i128::MAX.
+    Big {
+        negative: bool,
+        limbs: Vec<u64>,
+    },
+}
+
+impl Int {
+    /// The value `0`.
+    pub fn zero() -> Int {
+        Int(Repr::Small(0))
+    }
+
+    /// The value `1`.
+    pub fn one() -> Int {
+        Int(Repr::Small(1))
+    }
+
+    /// Returns `true` if `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.0, Repr::Small(0))
+    }
+
+    /// Returns `true` if `self == 1`.
+    pub fn is_one(&self) -> bool {
+        matches!(self.0, Repr::Small(1))
+    }
+
+    /// Returns `true` if `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        match &self.0 {
+            Repr::Small(v) => *v > 0,
+            Repr::Big { negative, .. } => !negative,
+        }
+    }
+
+    /// Returns `true` if `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        match &self.0 {
+            Repr::Small(v) => *v < 0,
+            Repr::Big { negative, .. } => *negative,
+        }
+    }
+
+    /// Sign of the value: `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i32 {
+        match &self.0 {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => -1,
+                Ordering::Equal => 0,
+                Ordering::Greater => 1,
+            },
+            Repr::Big { negative, .. } => {
+                if *negative {
+                    -1
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Returns the value as an `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match &self.0 {
+            Repr::Small(v) => i64::try_from(*v).ok(),
+            Repr::Big { .. } => None,
+        }
+    }
+
+    /// Returns the value as an `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        match &self.0 {
+            Repr::Small(v) => Some(*v),
+            Repr::Big { .. } => None,
+        }
+    }
+
+    /// Returns the value as an `f64` (approximate for huge values).
+    pub fn to_f64(&self) -> f64 {
+        match &self.0 {
+            Repr::Small(v) => *v as f64,
+            Repr::Big { negative, limbs } => {
+                let mut x = 0.0f64;
+                for &l in limbs.iter().rev() {
+                    x = x * 1.8446744073709552e19 + l as f64;
+                }
+                if *negative {
+                    -x
+                } else {
+                    x
+                }
+            }
+        }
+    }
+
+    /// `self` raised to the power `exp`.
+    ///
+    /// ```
+    /// use presburger_arith::Int;
+    /// assert_eq!(Int::from(3).pow(4), Int::from(81));
+    /// assert_eq!(Int::from(7).pow(0), Int::one());
+    /// ```
+    pub fn pow(&self, exp: u32) -> Int {
+        let mut result = Int::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// Floor division: rounds the quotient toward negative infinity.
+    ///
+    /// ```
+    /// use presburger_arith::Int;
+    /// assert_eq!(Int::from(-7).div_floor(&Int::from(2)), Int::from(-4));
+    /// assert_eq!(Int::from(7).div_floor(&Int::from(2)), Int::from(3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_floor(&self, d: &Int) -> Int {
+        let (q, r) = self.div_rem(d);
+        if !r.is_zero() && (r.is_negative() != d.is_negative()) {
+            q - Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling division: rounds the quotient toward positive infinity.
+    ///
+    /// ```
+    /// use presburger_arith::Int;
+    /// assert_eq!(Int::from(7).div_ceil(&Int::from(2)), Int::from(4));
+    /// assert_eq!(Int::from(-7).div_ceil(&Int::from(2)), Int::from(-3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_ceil(&self, d: &Int) -> Int {
+        let (q, r) = self.div_rem(d);
+        if !r.is_zero() && (r.is_negative() == d.is_negative()) {
+            q + Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean remainder: always in `[0, |d|)`.
+    ///
+    /// ```
+    /// use presburger_arith::Int;
+    /// assert_eq!(Int::from(-7).rem_euclid(&Int::from(3)), Int::from(2));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn rem_euclid(&self, d: &Int) -> Int {
+        let r = self % d;
+        if r.is_negative() {
+            &r + &d.abs()
+        } else {
+            r
+        }
+    }
+
+    /// Truncating division and remainder (remainder has the sign of
+    /// `self`, like Rust's `/` and `%` on primitives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &Int) -> (Int, Int) {
+        assert!(!d.is_zero(), "division by zero");
+        match (&self.0, &d.0) {
+            (Repr::Small(a), Repr::Small(b)) => {
+                // i128::MIN / -1 overflows; promote that one case.
+                if let (Some(q), Some(r)) = (a.checked_div(*b), a.checked_rem(*b)) {
+                    (Int::from(q), Int::from(r))
+                } else {
+                    let (q, r) = limbs_divrem(&to_limbs(*a), &to_limbs(*b));
+                    (
+                        Int::from_sign_limbs(a.is_negative() != b.is_negative(), q),
+                        Int::from_sign_limbs(a.is_negative(), r),
+                    )
+                }
+            }
+            _ => {
+                let (an, al) = self.sign_limbs();
+                let (bn, bl) = d.sign_limbs();
+                let (q, r) = limbs_divrem(&al, &bl);
+                (
+                    Int::from_sign_limbs(an != bn, q),
+                    Int::from_sign_limbs(an, r),
+                )
+            }
+        }
+    }
+
+    /// Returns `true` if `self` divides `other` evenly.
+    ///
+    /// `0` divides only `0`.
+    pub fn divides(&self, other: &Int) -> bool {
+        if self.is_zero() {
+            other.is_zero()
+        } else {
+            (other % self).is_zero()
+        }
+    }
+
+    fn sign_limbs(&self) -> (bool, Vec<u64>) {
+        match &self.0 {
+            Repr::Small(v) => (*v < 0, to_limbs(*v)),
+            Repr::Big { negative, limbs } => (*negative, limbs.clone()),
+        }
+    }
+
+    fn from_sign_limbs(negative: bool, mut limbs: Vec<u64>) -> Int {
+        trim(&mut limbs);
+        if limbs.is_empty() {
+            return Int::zero();
+        }
+        // Demote to Small when the magnitude fits in i128.
+        if limbs.len() <= 2 {
+            let mag = limbs[0] as u128 | ((limbs.get(1).copied().unwrap_or(0) as u128) << 64);
+            if negative {
+                if mag <= i128::MIN.unsigned_abs() {
+                    return Int(Repr::Small((mag as i128).wrapping_neg()));
+                }
+            } else if mag <= i128::MAX as u128 {
+                return Int(Repr::Small(mag as i128));
+            }
+        }
+        Int(Repr::Big { negative, limbs })
+    }
+}
+
+fn to_limbs(v: i128) -> Vec<u64> {
+    let mag = v.unsigned_abs();
+    let mut l = vec![mag as u64, (mag >> 64) as u64];
+    trim(&mut l);
+    l
+}
+
+fn trim(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+fn limbs_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+#[allow(clippy::needless_range_loop)] // index math pairs limbs across operands
+fn limbs_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry as u128;
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`, requiring `a >= b`.
+#[allow(clippy::needless_range_loop)] // index math pairs limbs across operands
+fn limbs_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(limbs_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, o1) = a[i].overflowing_sub(bi);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (o1 || o2) as u64;
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+fn limbs_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn limbs_shl(a: &[u64], bits: u32) -> Vec<u64> {
+    if a.is_empty() {
+        return vec![];
+    }
+    let words = (bits / 64) as usize;
+    let rem = bits % 64;
+    let mut out = vec![0u64; words];
+    if rem == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << rem) | carry);
+            carry = x >> (64 - rem);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn limbs_shr(a: &[u64], bits: u32) -> Vec<u64> {
+    let words = (bits / 64) as usize;
+    let rem = bits % 64;
+    if words >= a.len() {
+        return vec![];
+    }
+    let mut out = Vec::with_capacity(a.len() - words);
+    if rem == 0 {
+        out.extend_from_slice(&a[words..]);
+    } else {
+        for i in words..a.len() {
+            let lo = a[i] >> rem;
+            let hi = if i + 1 < a.len() {
+                a[i + 1] << (64 - rem)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// Knuth Algorithm D long division on magnitudes. Returns `(q, r)`.
+fn limbs_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!b.is_empty(), "division by zero magnitude");
+    if limbs_cmp(a, b) == Ordering::Less {
+        return (vec![], a.to_vec());
+    }
+    if b.len() == 1 {
+        // Fast path: single-limb divisor.
+        let d = b[0] as u128;
+        let mut q = vec![0u64; a.len()];
+        let mut rem = 0u128;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        trim(&mut q);
+        let mut r = vec![rem as u64];
+        trim(&mut r);
+        return (q, r);
+    }
+    // Normalize: shift so the top limb of the divisor has its high bit set.
+    let shift = b.last().unwrap().leading_zeros();
+    let bn = limbs_shl(b, shift);
+    let mut an = limbs_shl(a, shift);
+    an.push(0); // extra high limb for the algorithm
+    let n = bn.len();
+    let m = an.len() - n - 1;
+    let mut q = vec![0u64; m + 1];
+    let btop = bn[n - 1] as u128;
+    let bsecond = bn[n - 2] as u128;
+    for j in (0..=m).rev() {
+        // Estimate qhat from the top two limbs.
+        let top = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+        let mut qhat = top / btop;
+        let mut rhat = top % btop;
+        while qhat >> 64 != 0 || qhat * bsecond > ((rhat << 64) | an[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += btop;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        // Multiply-subtract qhat * bn from an[j .. j+n].
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * bn[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (an[j + i] as i128) - (p as u64 as i128) - borrow;
+            an[j + i] = sub as u64;
+            borrow = if sub < 0 { 1 } else { 0 };
+        }
+        let sub = (an[j + n] as i128) - (carry as i128) - borrow;
+        an[j + n] = sub as u64;
+        if sub < 0 {
+            // qhat was one too large: add back.
+            qhat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let s = an[j + i] as u128 + bn[i] as u128 + carry;
+                an[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            an[j + n] = an[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat as u64;
+    }
+    trim(&mut q);
+    let mut r = an[..n].to_vec();
+    trim(&mut r);
+    (q, limbs_shr(&r, shift))
+}
+
+// ---------------------------------------------------------------------
+// trait impls
+
+impl Default for Int {
+    fn default() -> Int {
+        Int::zero()
+    }
+}
+
+macro_rules! impl_from_prim {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int(Repr::Small(v as i128))
+            }
+        }
+    )*};
+}
+impl_from_prim!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
+
+impl PartialEq for Int {
+    fn eq(&self, other: &Int) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Int {}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Int) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Int) -> Ordering {
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A Big value is out of i128 range by invariant.
+            (Repr::Small(_), Repr::Big { negative, .. }) => {
+                if *negative {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Repr::Big { negative, .. }, Repr::Small(_)) => {
+                if *negative {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (
+                Repr::Big {
+                    negative: an,
+                    limbs: al,
+                },
+                Repr::Big {
+                    negative: bn,
+                    limbs: bl,
+                },
+            ) => match (an, bn) {
+                (false, true) => Ordering::Greater,
+                (true, false) => Ordering::Less,
+                (false, false) => limbs_cmp(al, bl),
+                (true, true) => limbs_cmp(bl, al),
+            },
+        }
+    }
+}
+
+impl Hash for Int {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Canonical form guarantees Small/Big never collide numerically.
+        match &self.0 {
+            Repr::Small(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Repr::Big { negative, limbs } => {
+                1u8.hash(state);
+                negative.hash(state);
+                limbs.hash(state);
+            }
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        match self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int(Repr::Small(n)),
+                None => Int::from_sign_limbs(false, to_limbs(v)),
+            },
+            Repr::Big { negative, limbs } => Int::from_sign_limbs(!negative, limbs),
+        }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+fn add_impl(a: &Int, b: &Int) -> Int {
+    if let (Repr::Small(x), Repr::Small(y)) = (&a.0, &b.0) {
+        if let Some(s) = x.checked_add(*y) {
+            return Int(Repr::Small(s));
+        }
+    }
+    let (an, al) = a.sign_limbs();
+    let (bn, bl) = b.sign_limbs();
+    if an == bn {
+        Int::from_sign_limbs(an, limbs_add(&al, &bl))
+    } else {
+        match limbs_cmp(&al, &bl) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int::from_sign_limbs(an, limbs_sub(&al, &bl)),
+            Ordering::Less => Int::from_sign_limbs(bn, limbs_sub(&bl, &al)),
+        }
+    }
+}
+
+fn mul_impl(a: &Int, b: &Int) -> Int {
+    if let (Repr::Small(x), Repr::Small(y)) = (&a.0, &b.0) {
+        if let Some(p) = x.checked_mul(*y) {
+            return Int(Repr::Small(p));
+        }
+    }
+    let (an, al) = a.sign_limbs();
+    let (bn, bl) = b.sign_limbs();
+    Int::from_sign_limbs(an != bn, limbs_mul(&al, &bl))
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                $impl_fn(self, rhs)
+            }
+        }
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $impl_fn(&self, &rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                $impl_fn(&self, rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $impl_fn(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_impl);
+forward_binop!(Sub, sub, |a: &Int, b: &Int| add_impl(a, &-b.clone()));
+forward_binop!(Mul, mul, mul_impl);
+forward_binop!(Div, div, |a: &Int, b: &Int| a.div_rem(b).0);
+forward_binop!(Rem, rem, |a: &Int, b: &Int| a.div_rem(b).1);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = add_impl(self, rhs);
+    }
+}
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = add_impl(self, &-rhs.clone());
+    }
+}
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = mul_impl(self, rhs);
+    }
+}
+
+impl Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+impl Product for Int {
+    fn product<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::one(), |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Big { negative, limbs } => {
+                // Repeated division by 10^19 (largest power of 10 in u64).
+                const CHUNK: u64 = 10_000_000_000_000_000_000;
+                let mut digits: Vec<String> = Vec::new();
+                let mut cur = limbs.clone();
+                while !cur.is_empty() {
+                    let (q, r) = limbs_divrem(&cur, &[CHUNK]);
+                    digits.push(format!("{}", r.first().copied().unwrap_or(0)));
+                    cur = q;
+                }
+                let mut s = String::new();
+                if *negative {
+                    s.push('-');
+                }
+                s.push_str(&digits.pop().unwrap());
+                while let Some(d) = digits.pop() {
+                    s.push_str(&format!("{d:0>19}"));
+                }
+                f.write_str(&s)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing an [`Int`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError;
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal")
+    }
+}
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    fn from_str(s: &str) -> Result<Int, ParseIntError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseIntError);
+        }
+        let ten = Int::from(10);
+        let mut acc = Int::zero();
+        for b in body.bytes() {
+            acc = &acc * &ten + Int::from(b - b'0');
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(s: &str) -> Int {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(Int::from(2) + Int::from(3), Int::from(5));
+        assert_eq!(Int::from(2) - Int::from(3), Int::from(-1));
+        assert_eq!(Int::from(-4) * Int::from(6), Int::from(-24));
+        assert_eq!(Int::from(17) / Int::from(5), Int::from(3));
+        assert_eq!(Int::from(17) % Int::from(5), Int::from(2));
+        assert_eq!(Int::from(-17) % Int::from(5), Int::from(-2));
+    }
+
+    #[test]
+    fn promotion_on_overflow() {
+        let max = Int::from(i128::MAX);
+        let one = Int::one();
+        let sum = &max + &one;
+        assert_eq!(sum.to_string(), "170141183460469231731687303715884105728");
+        assert_eq!(&sum - &one, max);
+        assert!(sum.to_i128().is_none());
+    }
+
+    #[test]
+    fn i128_min_edge_cases() {
+        let min = Int::from(i128::MIN);
+        assert_eq!((-min.clone()).to_string(), "170141183460469231731687303715884105728");
+        let (q, r) = min.div_rem(&Int::from(-1));
+        assert_eq!(q.to_string(), "170141183460469231731687303715884105728");
+        assert!(r.is_zero());
+        assert_eq!(min.abs().to_string(), "170141183460469231731687303715884105728");
+    }
+
+    #[test]
+    fn big_mul_div_roundtrip() {
+        let a = big("123456789012345678901234567890123456789");
+        let b = big("987654321098765432109876543210");
+        let p = &a * &b;
+        assert_eq!(&p / &a, b);
+        assert_eq!(&p / &b, a);
+        assert!((&p % &a).is_zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in [
+            "0",
+            "-1",
+            "170141183460469231731687303715884105728",
+            "-999999999999999999999999999999999999999999",
+            "10000000000000000000000000000000000000000000000001",
+        ] {
+            assert_eq!(big(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("+5".parse::<Int>().unwrap() == Int::from(5));
+    }
+
+    #[test]
+    fn floor_ceil_division() {
+        assert_eq!(Int::from(-7).div_floor(&Int::from(2)), Int::from(-4));
+        assert_eq!(Int::from(-7).div_ceil(&Int::from(2)), Int::from(-3));
+        assert_eq!(Int::from(7).div_floor(&Int::from(-2)), Int::from(-4));
+        assert_eq!(Int::from(7).div_ceil(&Int::from(-2)), Int::from(-3));
+    }
+
+    #[test]
+    fn ordering_across_reprs() {
+        let huge = big("170141183460469231731687303715884105729");
+        let small = Int::from(5);
+        assert!(huge > small);
+        assert!(-huge.clone() < small);
+        assert!(-huge.clone() < -small.clone());
+        assert!(huge == huge.clone());
+    }
+
+    #[test]
+    fn pow_and_to_f64() {
+        assert_eq!(Int::from(2).pow(100).to_string(), "1267650600228229401496703205376");
+        let x = Int::from(2).pow(100).to_f64();
+        assert!((x - 1.2676506002282294e30).abs() / x < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let r = Int::from(a) + Int::from(b);
+            prop_assert_eq!(r, Int::from(a as i128 + b as i128));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let r = Int::from(a) * Int::from(b);
+            prop_assert_eq!(r, Int::from(a as i128 * b as i128));
+        }
+
+        #[test]
+        fn divrem_invariant_small(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+            let (q, r) = Int::from(a).div_rem(&Int::from(b));
+            prop_assert_eq!(&q * &Int::from(b) + &r, Int::from(a));
+            prop_assert!(r.abs() < Int::from(b).abs());
+        }
+
+        #[test]
+        fn divrem_invariant_big(al in proptest::collection::vec(any::<u64>(), 1..6),
+                                bl in proptest::collection::vec(any::<u64>(), 1..4),
+                                an in any::<bool>(), bn in any::<bool>()) {
+            let a = Int::from_sign_limbs(an, al);
+            let b = Int::from_sign_limbs(bn, bl);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a.clone());
+            prop_assert!(r.abs() < b.abs());
+            // remainder sign matches dividend (truncating division)
+            prop_assert!(r.is_zero() || (r.is_negative() == a.is_negative()));
+        }
+
+        #[test]
+        fn string_roundtrip(al in proptest::collection::vec(any::<u64>(), 1..5), neg in any::<bool>()) {
+            let a = Int::from_sign_limbs(neg, al);
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<Int>().unwrap(), a);
+        }
+
+        #[test]
+        fn ord_consistent_with_sub(al in proptest::collection::vec(any::<u64>(), 1..4),
+                                   bl in proptest::collection::vec(any::<u64>(), 1..4),
+                                   an in any::<bool>(), bn in any::<bool>()) {
+            let a = Int::from_sign_limbs(an, al);
+            let b = Int::from_sign_limbs(bn, bl);
+            let d = &a - &b;
+            prop_assert_eq!(a.cmp(&b), d.cmp(&Int::zero()));
+        }
+
+        #[test]
+        fn floor_ceil_match_f64_small(a in -10_000i64..10_000, b in (1i64..200)) {
+            let f = Int::from(a).div_floor(&Int::from(b));
+            prop_assert_eq!(f, Int::from((a as f64 / b as f64).floor() as i64));
+            let c = Int::from(a).div_ceil(&Int::from(b));
+            prop_assert_eq!(c, Int::from((a as f64 / b as f64).ceil() as i64));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Exact rational numbers built on [`Int`].
+
+use crate::{gcd, Int};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number, always stored in lowest terms with a
+/// positive denominator.
+///
+/// ```
+/// use presburger_arith::{Int, Rat};
+///
+/// let third = Rat::new(Int::from(2), Int::from(6));
+/// assert_eq!(third.numer(), &Int::from(1));
+/// assert_eq!(third.denom(), &Int::from(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Int, // invariant: den > 0, gcd(num, den) == 1
+}
+
+impl Rat {
+    /// Creates the rational `num / den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Rat {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Rat { num, den };
+        r.normalize();
+        r
+    }
+
+    /// The rational `0`.
+    pub fn zero() -> Rat {
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
+    }
+
+    /// The rational `1`.
+    pub fn one() -> Rat {
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is a (possibly negative) integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` if the value is `> 0`.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the value is `< 0`.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Converts to an [`Int`] if the value is integral.
+    pub fn to_int(&self) -> Option<Int> {
+        if self.is_integer() {
+            Some(self.num.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> Int {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> Int {
+        self.num.div_ceil(&self.den)
+    }
+
+    /// Approximate `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// `self` raised to the power `exp`.
+    pub fn pow(&self, exp: u32) -> Rat {
+        Rat {
+            num: self.num.pow(exp),
+            den: self.den.pow(exp),
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.den.is_negative() {
+            self.num = -self.num.clone();
+            self.den = -self.den.clone();
+        }
+        if self.num.is_zero() {
+            self.den = Int::one();
+            return;
+        }
+        let g = gcd(&self.num, &self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::zero()
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Rat {
+        Rat {
+            num: v,
+            den: Int::one(),
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from(Int::from(v))
+    }
+}
+
+fn add_impl(a: &Rat, b: &Rat) -> Rat {
+    Rat::new(
+        &(&a.num * &b.den) + &(&b.num * &a.den),
+        &a.den * &b.den,
+    )
+}
+
+fn mul_impl(a: &Rat, b: &Rat) -> Rat {
+    Rat::new(&a.num * &b.num, &a.den * &b.den)
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                $impl_fn(self, rhs)
+            }
+        }
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $impl_fn(&self, &rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                $impl_fn(&self, rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $impl_fn(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_impl);
+forward_binop!(Sub, sub, |a: &Rat, b: &Rat| add_impl(a, &-b.clone()));
+forward_binop!(Mul, mul, mul_impl);
+forward_binop!(Div, div, |a: &Rat, b: &Rat| mul_impl(a, &b.recip()));
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -self.clone()
+    }
+}
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = add_impl(self, rhs);
+    }
+}
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = add_impl(self, &-rhs.clone());
+    }
+}
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = mul_impl(self, rhs);
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 6), r(1, 3));
+        assert_eq!(r(-2, -6), r(1, 3));
+        assert_eq!(r(2, -6), r(-1, 3));
+        assert_eq!(r(0, -5), Rat::zero());
+        assert!(r(4, 2).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(Int::one(), Int::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), Int::from(3));
+        assert_eq!(r(7, 2).ceil(), Int::from(4));
+        assert_eq!(r(-7, 2).floor(), Int::from(-4));
+        assert_eq!(r(-7, 2).ceil(), Int::from(-3));
+        assert_eq!(r(6, 3).floor(), Int::from(2));
+        assert_eq!(r(6, 3).ceil(), Int::from(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-5, 10).to_string(), "-1/2");
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(an in -100i64..100, ad in 1i64..50,
+                        bn in -100i64..100, bd in 1i64..50,
+                        cn in -100i64..100, cd in 1i64..50) {
+            let a = r(an, ad);
+            let b = r(bn, bd);
+            let c = r(cn, cd);
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            if !a.is_zero() {
+                prop_assert_eq!(&a * &a.recip(), Rat::one());
+            }
+        }
+
+        #[test]
+        fn floor_ceil_consistent(n in -10_000i64..10_000, d in 1i64..500) {
+            let x = r(n, d);
+            let f = x.floor();
+            let c = x.ceil();
+            prop_assert!(Rat::from(f.clone()) <= x);
+            prop_assert!(x <= Rat::from(c.clone()));
+            prop_assert!(&c - &f <= Int::one());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Stress and edge-case tests for the arithmetic substrate: limb
+//! boundaries, huge operands, rational ordering, and randomized
+//! Smith/Hermite normal forms on larger matrices.
+
+use presburger_arith::smith::{hermite_normal_form, smith_normal_form, solve_diophantine};
+use presburger_arith::{egcd, gcd, lcm, mod_balanced, Int, Matrix, Rat};
+use proptest::prelude::*;
+
+fn big(s: &str) -> Int {
+    s.parse().unwrap()
+}
+
+#[test]
+fn limb_boundary_arithmetic() {
+    // values straddling the i128 boundary
+    let edge = Int::from(i128::MAX);
+    let cases = [
+        (&edge + &Int::one(), "170141183460469231731687303715884105728"),
+        (&edge + &edge, "340282366920938463463374607431768211454"),
+        (
+            &(&edge * &edge) + &Int::one(),
+            "28948022309329048855892746252171976962977213799489202546401021394546514198530",
+        ),
+    ];
+    for (v, expect) in cases {
+        assert_eq!(v.to_string(), expect);
+    }
+    // subtraction back across the boundary
+    let back = &(&edge + &Int::one()) - &Int::one();
+    assert_eq!(back, edge);
+    assert!(back.to_i128().is_some());
+}
+
+#[test]
+fn u64_limb_carry_chains() {
+    // 2^64 - 1 patterns exercise carry propagation
+    let m = big("18446744073709551615"); // u64::MAX
+    let m2 = &m * &m;
+    assert_eq!(m2.to_string(), "340282366920938463426481119284349108225");
+    let sum = &m2 + &m;
+    assert_eq!(&sum % &m, Int::zero());
+    assert_eq!(&sum / &m, &m + &Int::one());
+}
+
+#[test]
+fn deep_division_chains() {
+    // repeated divmod reconstructs the original (base conversion)
+    let mut v = big("123456789123456789123456789123456789123456789");
+    let base = Int::from(997);
+    let mut digits = Vec::new();
+    while !v.is_zero() {
+        let (q, r) = v.div_rem(&base);
+        digits.push(r);
+        v = q;
+    }
+    let mut rebuilt = Int::zero();
+    for d in digits.iter().rev() {
+        rebuilt = &rebuilt * &base + d;
+    }
+    assert_eq!(
+        rebuilt,
+        big("123456789123456789123456789123456789123456789")
+    );
+}
+
+#[test]
+fn gcd_of_factorials() {
+    let fact = |n: u32| -> Int { (1..=n).map(Int::from).product() };
+    let f20 = fact(20);
+    let f25 = fact(25);
+    assert_eq!(gcd(&f20, &f25), f20);
+    assert_eq!(lcm(&f20, &f25), f25);
+    let (g, x, y) = egcd(&f20, &(&f25 + &Int::one()));
+    assert_eq!(&f20 * &x + &(&f25 + &Int::one()) * &y, g);
+}
+
+#[test]
+fn rational_ordering_with_huge_terms() {
+    // 10^40 / (10^40 + 1)  <  1  <  (10^40 + 1) / 10^40
+    let p = Int::from(10).pow(40);
+    let p1 = &p + &Int::one();
+    let a = Rat::new(p.clone(), p1.clone());
+    let b = Rat::new(p1, p);
+    assert!(a < Rat::one());
+    assert!(Rat::one() < b);
+    assert!(a < b);
+    assert!(a.clone() * b.clone() <= Rat::one());
+    assert_eq!(a * b, Rat::one() * Rat::one() * Rat::new(Int::one(), Int::one()));
+}
+
+#[test]
+fn rat_floor_ceil_huge() {
+    let p = Int::from(10).pow(30);
+    let r = Rat::new(&p + &Int::from(1), p.clone()); // 1 + 1/10^30
+    assert_eq!(r.floor(), Int::one());
+    assert_eq!(r.ceil(), Int::from(2));
+    let neg = -r;
+    assert_eq!(neg.floor(), Int::from(-2));
+    assert_eq!(neg.ceil(), Int::from(-1));
+}
+
+#[test]
+fn balanced_mod_bigger_moduli() {
+    for m in [7i64, 8, 101] {
+        let mi = Int::from(m);
+        for a in -250i64..=250 {
+            let r = mod_balanced(&Int::from(a), &mi);
+            // representative in (-m/2, m/2]
+            assert!(Rat::new(r.clone(), Int::one()) <= Rat::new(mi.clone(), Int::from(2)));
+            assert!(Rat::new(-r.clone(), Int::one()) < Rat::new(mi.clone(), Int::from(2)));
+            assert!(mi.divides(&(&Int::from(a) - &r)));
+        }
+    }
+}
+
+#[test]
+fn snf_rank_deficient_4x4() {
+    // rank-2 matrix: rows 2 and 3 are combinations of rows 0 and 1
+    let a = Matrix::from_i64(
+        4,
+        4,
+        &[
+            1, 2, 3, 4, //
+            2, 3, 4, 5, //
+            3, 5, 7, 9, //
+            4, 7, 10, 13,
+        ],
+    );
+    let snf = smith_normal_form(&a);
+    assert_eq!(snf.rank, 2);
+    assert_eq!(&(&snf.u * &a) * &snf.v, snf.d);
+}
+
+#[test]
+fn diophantine_kernel_dimension() {
+    // one equation, four unknowns: kernel of dimension 3
+    let a = Matrix::from_i64(1, 4, &[2, 4, 6, 8]);
+    let sol = solve_diophantine(&a, &[Int::from(10)]).unwrap();
+    assert_eq!(sol.basis.cols(), 3);
+    assert_eq!(a.mul_vec(&sol.particular), vec![Int::from(10)]);
+    for k in 0..3 {
+        assert_eq!(a.mul_vec(&sol.basis.col(k)), vec![Int::zero()]);
+    }
+    // odd target is unreachable (gcd 2)
+    assert!(solve_diophantine(&a, &[Int::from(9)]).is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a*b)/b == a and (a*b)%b == 0 for big random values.
+    #[test]
+    fn mul_div_roundtrip(al in proptest::collection::vec(any::<u64>(), 1..5),
+                         bl in proptest::collection::vec(any::<u64>(), 1..4),
+                         an in any::<bool>(), bn in any::<bool>()) {
+        let a = make_int(an, &al);
+        let b = make_int(bn, &bl);
+        prop_assume!(!b.is_zero());
+        let p = &a * &b;
+        prop_assert_eq!(&p / &b, a);
+        prop_assert!((&p % &b).is_zero());
+    }
+
+    /// gcd(a,b) divides both; egcd's Bézout identity holds for big values.
+    #[test]
+    fn gcd_properties_big(al in proptest::collection::vec(any::<u64>(), 1..4),
+                          bl in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let a = make_int(false, &al);
+        let b = make_int(true, &bl);
+        let g = gcd(&a, &b);
+        if !g.is_zero() {
+            prop_assert!(g.divides(&a) && g.divides(&b));
+        }
+        let (g2, x, y) = egcd(&a, &b);
+        prop_assert_eq!(&a * &x + &b * &y, g2.clone());
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Rational arithmetic keeps the canonical invariant under long
+    /// operation chains.
+    #[test]
+    fn rat_chain_invariants(ops in proptest::collection::vec((0u8..4, -50i64..50, 1i64..30), 1..20)) {
+        let mut acc = Rat::one();
+        for (op, n, d) in ops {
+            let r = Rat::new(Int::from(n), Int::from(d));
+            acc = match op {
+                0 => acc + r,
+                1 => acc - r,
+                2 => acc * r,
+                _ => {
+                    if r.is_zero() {
+                        acc
+                    } else {
+                        acc / r
+                    }
+                }
+            };
+            // invariant: positive denominator, reduced
+            prop_assert!(acc.denom().is_positive());
+            prop_assert!(gcd(acc.numer(), acc.denom()).is_one()
+                || acc.numer().is_zero());
+        }
+    }
+
+    /// Random 3x4 Hermite forms verify A·Q = H with unimodular column ops.
+    #[test]
+    fn hermite_random(entries in proptest::collection::vec(-15i64..15, 12)) {
+        let a = Matrix::from_i64(3, 4, &entries);
+        let (h, q) = hermite_normal_form(&a);
+        prop_assert_eq!(&a * &q, h);
+    }
+
+    /// pow matches repeated multiplication.
+    #[test]
+    fn pow_matches_iteration(base in -20i64..=20, exp in 0u32..=12) {
+        let b = Int::from(base);
+        let mut expect = Int::one();
+        for _ in 0..exp {
+            expect = &expect * &b;
+        }
+        prop_assert_eq!(b.pow(exp), expect);
+    }
+}
+
+fn make_int(neg: bool, limbs: &[u64]) -> Int {
+    // reconstruct an Int from limbs without private API: Σ limb·2^(64i)
+    let base = &Int::from(u64::MAX) + &Int::one();
+    let mut acc = Int::zero();
+    for l in limbs.iter().rev() {
+        acc = &acc * &base + &Int::from(*l);
+    }
+    if neg {
+        -acc
+    } else {
+        acc
+    }
+}

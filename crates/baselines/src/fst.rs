@@ -1,0 +1,215 @@
+//! Ferrante–Sarkar–Thrash memory-footprint estimation (\[FST91\],
+//! §6 Examples 4–5).
+//!
+//! FST count the distinct locations touched by a set of references by
+//! counting each reference's footprint and correcting for overlaps
+//! with inclusion–exclusion — `2^k − 1` summations for `k` references
+//! when carried to completion, and a one-sided bound when truncated
+//! (the paper: "uses expensive methods to handle … a set of
+//! references", "often computes a conservative approximation", "cannot
+//! handle coupled subscripts").
+//!
+//! This reimplementation uses the workspace's exact counter for each
+//! individual summation, so the *strategy* is FST's while the
+//! arithmetic is exact:
+//!
+//! * truncating the inclusion–exclusion at order 1 gives an upper
+//!   bound, at order 2 a lower bound (Bonferroni);
+//! * a reference whose subscript couples two loop variables cannot be
+//!   handled; its footprint is over-approximated by the iteration
+//!   count, as FST would.
+
+use presburger_apps::{ArrayRef, LoopNest};
+use presburger_counting::{try_count_solutions, CountOptions, Symbolic};
+use presburger_omega::{Affine, Formula, VarId};
+
+/// An FST-style footprint estimate.
+#[derive(Clone, Debug)]
+pub struct FstEstimate {
+    /// The estimated number of distinct locations.
+    pub value: Symbolic,
+    /// Number of counting summations performed (the paper's cost
+    /// metric: full inclusion–exclusion needs `2^k − 1`).
+    pub summations: usize,
+    /// Whether the estimate is exact (full-order inclusion–exclusion
+    /// and no coupled subscripts).
+    pub exact: bool,
+}
+
+/// Estimates the distinct locations touched by `refs` using
+/// inclusion–exclusion truncated at `max_order`.
+///
+/// # Panics
+///
+/// Panics if `refs` is empty or mixes arrays/ranks, or if a footprint
+/// is unbounded.
+pub fn fst_locations(nest: &LoopNest, refs: &[ArrayRef], max_order: usize) -> FstEstimate {
+    assert!(!refs.is_empty(), "no references");
+    let dims = refs[0].subscripts.len();
+    assert!(
+        refs.iter()
+            .all(|r| r.array == refs[0].array && r.subscripts.len() == dims),
+        "references must target one array with a fixed rank"
+    );
+    let loop_vars = nest.loop_vars();
+    let coupled: Vec<bool> = refs
+        .iter()
+        .map(|r| {
+            r.subscripts
+                .iter()
+                .any(|s| s.vars().filter(|v| loop_vars.contains(v)).count() >= 2)
+        })
+        .collect();
+    let mut space = nest.space().clone();
+    let loc_vars: Vec<VarId> = (0..dims).map(|k| space.var(&format!("loc{k}"))).collect();
+
+    let mut summations = 0usize;
+    let mut exact = max_order >= refs.len() && coupled.iter().all(|c| !c);
+    let mut acc = presburger_polyq::GuardedValue::zero();
+    let mut final_space = space.clone();
+
+    // iterate over non-empty subsets up to max_order
+    let n = refs.len();
+    for mask in 1u32..(1 << n) {
+        let k = mask.count_ones() as usize;
+        if k > max_order {
+            continue;
+        }
+        let members: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if members.iter().any(|&i| coupled[i]) {
+            if k == 1 {
+                // coupled subscript: FST cannot handle it; fall back to
+                // the iteration count as a conservative footprint
+                let c = nest.iteration_count();
+                summations += 1;
+                exact = false;
+                acc.add(c.value);
+                final_space = c.space;
+            }
+            // intersections with coupled references are skipped
+            // (over-approximating the union)
+            continue;
+        }
+        // footprint intersection of the member references: for each, a
+        // fresh copy of the iteration space
+        let mut space2 = space.clone();
+        let mut parts = Vec::new();
+        let mut bound = Vec::new();
+        for &ri in &members {
+            let mut body = nest.iteration_space();
+            let mut subs = refs[ri].subscripts.clone();
+            for lv in &loop_vars {
+                let hint = space2.name(*lv).to_string();
+                let fresh = space2.fresh(&hint);
+                body = body.substitute(*lv, &Affine::var(fresh));
+                for s in &mut subs {
+                    *s = s.substitute(*lv, &Affine::var(fresh));
+                }
+                bound.push(fresh);
+            }
+            parts.push(body);
+            for (d, s) in subs.into_iter().enumerate() {
+                parts.push(Formula::eq(Affine::var(loc_vars[d]), s));
+            }
+        }
+        let f = Formula::exists(bound, Formula::and(parts));
+        let c = try_count_solutions(&space2, &f, &loc_vars, &CountOptions::default())
+            .unwrap_or_else(|e| panic!("FST summation failed: {e}"));
+        summations += 1;
+        let signed = if k % 2 == 1 {
+            c.value
+        } else {
+            c.value.scale(&presburger_arith::Rat::from(-1))
+        };
+        acc.add(signed);
+        final_space = c.space;
+    }
+    acc.compact();
+    FstEstimate {
+        value: Symbolic {
+            space: final_space,
+            value: acc,
+        },
+        summations,
+        exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sor_nest() -> (LoopNest, Vec<ArrayRef>) {
+        let mut nest = LoopNest::new();
+        let n = nest.symbol("N");
+        let i = nest.add_loop(
+            "i",
+            Affine::constant(2),
+            Affine::var(n) - Affine::constant(1),
+        );
+        let j = nest.add_loop(
+            "j",
+            Affine::constant(2),
+            Affine::var(n) - Affine::constant(1),
+        );
+        let a = |di: i64, dj: i64| {
+            ArrayRef::new(
+                "a",
+                vec![
+                    Affine::var(i) + Affine::constant(di),
+                    Affine::var(j) + Affine::constant(dj),
+                ],
+            )
+        };
+        let refs = vec![a(0, 0), a(-1, 0), a(1, 0), a(0, -1), a(0, 1)];
+        (nest, refs)
+    }
+
+    /// Full inclusion–exclusion is exact but needs 2⁵−1 = 31
+    /// summations for the SOR stencil (vs one with summarization).
+    #[test]
+    fn full_inclusion_exclusion_is_exact_but_expensive() {
+        let (nest, refs) = sor_nest();
+        let est = fst_locations(&nest, &refs, 5);
+        assert!(est.exact);
+        assert_eq!(est.summations, 31);
+        for nv in [5i64, 10] {
+            assert_eq!(
+                est.value.eval_i64(&[("N", nv)]),
+                Some(nv * nv - 4),
+                "N={nv}"
+            );
+        }
+    }
+
+    /// Bonferroni: order 1 over-counts, order 2 under-counts.
+    #[test]
+    fn truncation_gives_one_sided_bounds() {
+        let (nest, refs) = sor_nest();
+        let o1 = fst_locations(&nest, &refs, 1);
+        let o2 = fst_locations(&nest, &refs, 2);
+        assert!(!o1.exact && !o2.exact);
+        assert_eq!(o1.summations, 5);
+        assert_eq!(o2.summations, 5 + 10);
+        for nv in [5i64, 8, 12] {
+            let truth = nv * nv - 4;
+            let hi = o1.value.eval_i64(&[("N", nv)]).unwrap();
+            let lo = o2.value.eval_i64(&[("N", nv)]).unwrap();
+            assert!(hi >= truth, "order-1 must over-count: {hi} vs {truth}");
+            assert!(lo <= truth, "order-2 must under-count: {lo} vs {truth}");
+        }
+    }
+
+    /// §6 Example 4: the coupled subscript a(6i+9j−7) defeats FST — the
+    /// conservative estimate is the iteration count 40, not 25.
+    #[test]
+    fn coupled_subscripts_fall_back() {
+        let mut nest = LoopNest::new();
+        let i = nest.add_loop("i", Affine::constant(1), Affine::constant(8));
+        let j = nest.add_loop("j", Affine::constant(1), Affine::constant(5));
+        let r = ArrayRef::new("a", vec![Affine::from_terms(&[(i, 6), (j, 9)], -7)]);
+        let est = fst_locations(&nest, &[r], 1);
+        assert!(!est.exact);
+        assert_eq!(est.value.eval_i64(&[]), Some(40)); // vs the true 25
+    }
+}

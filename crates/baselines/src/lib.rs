@@ -1,0 +1,28 @@
+//! Baselines the paper compares against (§1, §6).
+//!
+//! * [`naive`] — Mathematica/Maple-style telescoping that assumes every
+//!   summation range is non-empty (§1's wrong-answer example);
+//! * [`tawbi`] — fixed elimination order, up-front polyhedral
+//!   splitting, no redundant-constraint elimination
+//!   (\[Taw91, TF92, Taw94\]);
+//! * [`hp`] — Haghighat & Polychronopoulos' min/max/p(·) answer form
+//!   (\[HP93a, HP93b\]);
+//! * [`fst`] — Ferrante–Sarkar–Thrash inclusion–exclusion footprint
+//!   counting with its coupled-subscript limitation (\[FST91\]).
+//!
+//! Each baseline reuses the workspace's exact arithmetic so the
+//! *strategies* are compared on equal footing; the experiments measure
+//! answer correctness, piece/step counts, and summation counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fst;
+pub mod hp;
+pub mod naive;
+pub mod tawbi;
+
+pub use fst::{fst_locations, FstEstimate};
+pub use hp::{example2_hp_answer, hp_sum_once, HpResult, MExpr};
+pub use naive::{intro_example, naive_sum, SumSpec};
+pub use tawbi::{tawbi_sum, TawbiResult};

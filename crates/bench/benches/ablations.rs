@@ -1,0 +1,88 @@
+//! A1/A4 ablations: redundant-constraint elimination on/off, exact vs
+//! approximate counting, and the §4.2 four-piece decomposition vs
+//! direct telescoping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presburger_counting::{try_count_solutions, CountOptions, Mode};
+use presburger_omega::{Affine, Formula, Space};
+use std::hint::black_box;
+
+fn example1_formula(s: &mut Space) -> (Formula, Vec<presburger_omega::VarId>) {
+    let i = s.var("i");
+    let j = s.var("j");
+    let k = s.var("k");
+    let n = s.var("n");
+    let m = s.var("m");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::constant(1), j, Affine::var(i)),
+        Formula::between(Affine::var(j), k, Affine::var(m)),
+    ]);
+    (f, vec![i, j, k])
+}
+
+fn bench_redundancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_redundancy");
+    group.sample_size(10);
+    for (name, remove) in [("with_elimination", true), ("without_elimination", false)] {
+        group.bench_function(name, |b| {
+            let mut s = Space::new();
+            let (f, vars) = example1_formula(&mut s);
+            let opts = CountOptions {
+                remove_redundant: remove,
+                ..CountOptions::default()
+            };
+            b.iter(|| black_box(try_count_solutions(&s, &f, &vars, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_modes");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("exact", Mode::Exact),
+        ("upper_bound", Mode::UpperBound),
+        ("lower_bound", Mode::LowerBound),
+    ] {
+        group.bench_function(name, |b| {
+            let mut s = Space::new();
+            let i = s.var("i");
+            let j = s.var("j");
+            let n = s.var("n");
+            let f = Formula::and(vec![
+                Formula::le(Affine::constant(1), Affine::var(i)),
+                Formula::le(Affine::constant(1), Affine::var(j)),
+                Formula::le(Affine::var(j), Affine::var(n)),
+                Formula::le(Affine::term(i, 2), Affine::term(j, 3)),
+            ]);
+            let opts = CountOptions {
+                mode,
+                ..CountOptions::default()
+            };
+            b.iter(|| black_box(try_count_solutions(&s, &f, &[i, j], &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_four_piece(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_four_piece");
+    group.sample_size(10);
+    for (name, four) in [("telescoped", false), ("four_piece", true)] {
+        group.bench_function(name, |b| {
+            let mut s = Space::new();
+            let (f, vars) = example1_formula(&mut s);
+            let opts = CountOptions {
+                four_piece: four,
+                ..CountOptions::default()
+            };
+            b.iter(|| black_box(try_count_solutions(&s, &f, &vars, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redundancy, bench_modes, bench_four_piece);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E1/E2: the §1 simple sums and the naive-CAS comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presburger_baselines::naive::{naive_sum, SumSpec};
+use presburger_counting::{try_count_solutions, CountOptions};
+use presburger_omega::{Affine, Formula, Space};
+use presburger_polyq::QPoly;
+use std::hint::black_box;
+
+fn bench_simple_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_simple_sums");
+    group.sample_size(20);
+
+    group.bench_function("count_interval_1_to_n", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let n = s.var("n");
+        let f = Formula::between(Affine::constant(1), i, Affine::var(n));
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("count_square", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::var(n)),
+            Formula::between(Affine::constant(1), j, Affine::var(n)),
+        ]);
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("count_triangle", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::le(Affine::constant(1), Affine::var(i)),
+            Formula::lt(Affine::var(i), Affine::var(j)),
+            Formula::le(Affine::var(j), Affine::var(n)),
+        ]);
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_intro_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_intro");
+    group.sample_size(20);
+
+    group.bench_function("naive_telescoping", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let m = s.var("m");
+        let levels = vec![
+            SumSpec {
+                var: j,
+                lower: Affine::var(i),
+                upper: Affine::var(m),
+            },
+            SumSpec {
+                var: i,
+                lower: Affine::constant(1),
+                upper: Affine::var(n),
+            },
+        ];
+        b.iter(|| black_box(naive_sum(&levels, &QPoly::one())));
+        let _ = n;
+    });
+
+    group.bench_function("guarded_exact", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let m = s.var("m");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::var(n)),
+            Formula::between(Affine::var(i), j, Affine::var(m)),
+        ]);
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simple_sums, bench_intro_naive);
+criterion_main!(benches);

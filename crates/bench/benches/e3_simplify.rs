@@ -1,0 +1,34 @@
+//! E3: the §2.6 simplification — the paper's only absolute timing
+//! claim (12 ms on a 1992 Sun Sparc IPX).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presburger_bench::experiments::section26_formula;
+use presburger_omega::dnf::{simplify, SimplifyOptions};
+use presburger_omega::Space;
+use std::hint::black_box;
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_simplify");
+    group.sample_size(20);
+
+    group.bench_function("section_2_6_formula", |b| {
+        b.iter(|| {
+            let mut s = Space::new();
+            let (f, ..) = section26_formula(&mut s);
+            black_box(simplify(&f, &mut s, &SimplifyOptions::default()))
+        });
+    });
+
+    group.bench_function("section_2_6_formula_disjoint", |b| {
+        b.iter(|| {
+            let mut s = Space::new();
+            let (f, ..) = section26_formula(&mut s);
+            black_box(simplify(&f, &mut s, &SimplifyOptions::disjoint()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplify);
+criterion_main!(benches);

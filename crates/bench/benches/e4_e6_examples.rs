@@ -1,0 +1,111 @@
+//! E4–E6: the paper's Examples 1–3, ours vs the Tawbi and HP
+//! baselines, with a depth sweep (ablation A2's workload family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presburger_baselines::tawbi_sum;
+use presburger_counting::{try_count_solutions, CountOptions};
+use presburger_omega::{Affine, Conjunct, Formula, Space, VarId};
+use presburger_polyq::QPoly;
+use std::hint::black_box;
+
+/// Generalized Example 1 at a given nesting depth.
+fn example1_family(depth: usize) -> (Space, Conjunct, Vec<VarId>) {
+    let mut s = Space::new();
+    let vars: Vec<VarId> = (0..depth).map(|d| s.var(&format!("v{d}"))).collect();
+    let n = s.var("n");
+    let m = s.var("m");
+    let mut c = Conjunct::new();
+    c.add_geq(Affine::from_terms(&[(vars[0], 1)], -1));
+    c.add_geq(Affine::from_terms(&[(n, 1), (vars[0], -1)], 0));
+    for t in 1..depth - 1 {
+        c.add_geq(Affine::from_terms(&[(vars[t], 1)], -1));
+        c.add_geq(Affine::from_terms(&[(vars[t - 1], 1), (vars[t], -1)], 0));
+    }
+    c.add_geq(Affine::from_terms(
+        &[(vars[depth - 1], 1), (vars[depth - 2], -1)],
+        0,
+    ));
+    c.add_geq(Affine::from_terms(&[(m, 1), (vars[depth - 1], -1)], 0));
+    (s, c, vars)
+}
+
+fn conjunct_to_formula(c: &Conjunct) -> Formula {
+    let mut parts = Vec::new();
+    for e in c.eqs() {
+        parts.push(Formula::eq0(e.clone()));
+    }
+    for e in c.geqs() {
+        parts.push(Formula::ge(e.clone()));
+    }
+    Formula::and(parts)
+}
+
+fn bench_example1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_example1");
+    group.sample_size(10);
+    for depth in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("ours_free_order", depth), &depth, |b, &d| {
+            let (s, conj, vars) = example1_family(d);
+            let f = conjunct_to_formula(&conj);
+            b.iter(|| {
+                black_box(
+                    try_count_solutions(&s, &f, &vars, &CountOptions::default()).unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tawbi_fixed_order", depth), &depth, |b, &d| {
+            let (s, conj, vars) = example1_family(d);
+            let mut order = vars.clone();
+            order.reverse();
+            b.iter(|| {
+                black_box(tawbi_sum(&conj, &order, &QPoly::one(), &mut s.clone()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_examples_2_3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_e6_hp_examples");
+    group.sample_size(10);
+
+    group.bench_function("example2_count", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let k = s.var("k");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::var(n)),
+            Formula::between(Affine::constant(3), j, Affine::var(i)),
+            Formula::between(Affine::var(j), k, Affine::constant(5)),
+        ]);
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i, j, k], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("example3_count", |b| {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::term(n, 2)),
+            Formula::between(Affine::constant(1), j, Affine::var(i)),
+            Formula::le(Affine::var(i) + Affine::var(j), Affine::term(n, 2)),
+        ]);
+        b.iter(|| {
+            black_box(
+                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_example1, bench_examples_2_3);
+criterion_main!(benches);

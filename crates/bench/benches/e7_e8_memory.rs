@@ -1,0 +1,141 @@
+//! E7/E8/E12/A3: memory-footprint analyses — the coupled-subscript
+//! Example 4, the SOR Example 5 (locations and cache lines), stencil
+//! summarization, and the inclusion–exclusion cost sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presburger_apps::{
+    distinct_cache_lines, distinct_locations, distinct_locations_naive, ArrayRef, LoopNest,
+};
+use presburger_baselines::fst_locations;
+use presburger_omega::hull::summarize_offsets;
+use presburger_omega::{Affine, Space};
+use std::hint::black_box;
+
+fn sor() -> (LoopNest, Vec<ArrayRef>) {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("N");
+    let i = nest.add_loop(
+        "i",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let j = nest.add_loop(
+        "j",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let a = |di: i64, dj: i64| {
+        ArrayRef::new(
+            "a",
+            vec![
+                Affine::var(i) + Affine::constant(di),
+                Affine::var(j) + Affine::constant(dj),
+            ],
+        )
+    };
+    (nest, vec![a(0, 0), a(-1, 0), a(1, 0), a(0, -1), a(0, 1)])
+}
+
+fn bench_example4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_example4");
+    group.sample_size(10);
+    group.bench_function("coupled_subscript_count", |b| {
+        let mut nest = LoopNest::new();
+        let i = nest.add_loop("i", Affine::constant(1), Affine::constant(8));
+        let j = nest.add_loop("j", Affine::constant(1), Affine::constant(5));
+        let r = ArrayRef::new("a", vec![Affine::from_terms(&[(i, 6), (j, 9)], -7)]);
+        b.iter(|| black_box(distinct_locations(&nest, std::slice::from_ref(&r))));
+    });
+    group.finish();
+}
+
+fn bench_sor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_sor");
+    group.sample_size(10);
+
+    group.bench_function("locations_summarized", |b| {
+        let (nest, refs) = sor();
+        b.iter(|| black_box(distinct_locations(&nest, &refs)));
+    });
+
+    group.bench_function("locations_naive_union", |b| {
+        let (nest, refs) = sor();
+        b.iter(|| black_box(distinct_locations_naive(&nest, &refs)));
+    });
+
+    group.bench_function("cache_lines_16", |b| {
+        let (nest, refs) = sor();
+        b.iter(|| black_box(distinct_cache_lines(&nest, &refs, 16)));
+    });
+
+    group.finish();
+}
+
+fn bench_stencils(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_stencils");
+    let five = vec![
+        vec![0i64, 0],
+        vec![-1, 0],
+        vec![1, 0],
+        vec![0, -1],
+        vec![0, 1],
+    ];
+    let mut nine = Vec::new();
+    for a in -1i64..=1 {
+        for b in -1..=1 {
+            nine.push(vec![a, b]);
+        }
+    }
+    for (name, pts) in [("five_point", five), ("nine_point", nine)] {
+        group.bench_with_input(BenchmarkId::new("hull_summary", name), &pts, |b, pts| {
+            let mut s = Space::new();
+            let d0 = s.var("d0");
+            let d1 = s.var("d1");
+            b.iter(|| black_box(summarize_offsets(pts, &[d0, d1])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inclusion_exclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_inclusion_exclusion");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fst_full_order", k),
+            &k,
+            |b, &k| {
+                let mut nest = LoopNest::new();
+                let n = nest.symbol("N");
+                let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+                let refs: Vec<ArrayRef> = (0..k as i64)
+                    .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
+                    .collect();
+                b.iter(|| black_box(fst_locations(&nest, &refs, k)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ours_summarized", k),
+            &k,
+            |b, &k| {
+                let mut nest = LoopNest::new();
+                let n = nest.symbol("N");
+                let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+                let refs: Vec<ArrayRef> = (0..k as i64)
+                    .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
+                    .collect();
+                b.iter(|| black_box(distinct_locations(&nest, &refs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_example4,
+    bench_sor,
+    bench_stencils,
+    bench_inclusion_exclusion
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Prints the paper-vs-measured table for every experiment.
+//!
+//! ```text
+//! cargo run --release -p presburger-bench --bin experiments
+//! ```
+
+use presburger_bench::all_experiments;
+
+fn main() {
+    println!("| Id | Experiment | Paper | Measured | Pass |");
+    println!("|----|------------|-------|----------|------|");
+    let mut failures = 0;
+    for r in all_experiments() {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.id,
+            r.title,
+            r.paper.replace('|', "\\|"),
+            r.measured.replace('|', "\\|"),
+            if r.pass { "✅" } else { "❌" }
+        );
+        if !r.pass {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounds-first adaptive counting (§4):
+//!
+//! > "It may often be preferable to compute both an upper and lower
+//! > bound on the sum. Only if these values are far apart may it be
+//! > worthwhile to compute the exact answer."
+//!
+//! [`count_with_bounds`] computes the §4.6 upper and lower bounds (no
+//! splintering, cheap); [`count_adaptive`] additionally evaluates the
+//! gap at caller-supplied sample points and falls back to the exact
+//! engine only when the relative gap exceeds a tolerance.
+
+use crate::{try_count_solutions, CountError, CountOptions, Mode, Symbolic};
+use presburger_omega::{Formula, Space, VarId};
+
+/// The result of an adaptive count.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCount {
+    /// A guaranteed lower bound on the count.
+    pub lower: Symbolic,
+    /// A guaranteed upper bound on the count.
+    pub upper: Symbolic,
+    /// The exact count — present only when the bounds were too far
+    /// apart at some sample point.
+    pub exact: Option<Symbolic>,
+    /// The largest relative gap observed at the sample points.
+    pub max_relative_gap: f64,
+}
+
+impl AdaptiveCount {
+    /// The best available symbolic answer: the exact count if it was
+    /// computed, otherwise the upper bound.
+    pub fn best(&self) -> &Symbolic {
+        self.exact.as_ref().unwrap_or(&self.upper)
+    }
+}
+
+/// Computes §4.6 lower and upper bounds on the count (each a single
+/// cheap pass — no splintering).
+///
+/// # Errors
+///
+/// Returns an error when the count diverges or the computation exceeds
+/// its budget.
+pub fn count_with_bounds(
+    space: &Space,
+    f: &Formula,
+    vars: &[VarId],
+) -> Result<(Symbolic, Symbolic), CountError> {
+    let lower = try_count_solutions(
+        space,
+        f,
+        vars,
+        &CountOptions {
+            mode: Mode::LowerBound,
+            ..CountOptions::default()
+        },
+    )?;
+    let upper = try_count_solutions(
+        space,
+        f,
+        vars,
+        &CountOptions {
+            mode: Mode::UpperBound,
+            ..CountOptions::default()
+        },
+    )?;
+    Ok((lower, upper))
+}
+
+/// Bounds-first counting: evaluates the gap between the §4.6 bounds at
+/// `samples` and computes the exact answer only when
+/// `(upper − lower) / max(1, upper)` exceeds `rel_tol` somewhere.
+///
+/// # Errors
+///
+/// Returns an error when the count diverges or the computation exceeds
+/// its budget.
+pub fn count_adaptive(
+    space: &Space,
+    f: &Formula,
+    vars: &[VarId],
+    samples: &[&[(&str, i64)]],
+    rel_tol: f64,
+) -> Result<AdaptiveCount, CountError> {
+    let (lower, upper) = count_with_bounds(space, f, vars)?;
+    let mut max_gap = 0.0f64;
+    for bindings in samples {
+        let lo = lower.eval_rat(bindings).to_f64();
+        let hi = upper.eval_rat(bindings).to_f64();
+        let gap = (hi - lo) / hi.max(1.0);
+        if gap > max_gap {
+            max_gap = gap;
+        }
+    }
+    let exact = if max_gap > rel_tol {
+        Some(try_count_solutions(space, f, vars, &CountOptions::default())?)
+    } else {
+        None
+    };
+    Ok(AdaptiveCount {
+        lower,
+        upper,
+        exact,
+        max_relative_gap: max_gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_omega::Affine;
+
+    fn strided_formula(s: &mut Space) -> (Formula, VarId) {
+        let x = s.var("x");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::le(Affine::constant(0), Affine::var(x)),
+            Formula::le(Affine::term(x, 7), Affine::var(n)),
+        ]);
+        let _ = n;
+        (f, x)
+    }
+
+    #[test]
+    fn bounds_bracket_exact() {
+        let mut s = Space::new();
+        let (f, x) = strided_formula(&mut s);
+        let (lo, hi) = count_with_bounds(&s, &f, &[x]).unwrap();
+        let exact = crate::count_solutions(&s, &f, &[x]);
+        for nv in 0i64..=40 {
+            let l = lo.eval_rat(&[("n", nv)]);
+            let e = exact.eval_rat(&[("n", nv)]);
+            let u = hi.eval_rat(&[("n", nv)]);
+            assert!(l <= e && e <= u, "n={nv}: {l} <= {e} <= {u} violated");
+        }
+    }
+
+    #[test]
+    fn tight_tolerance_triggers_exact() {
+        let mut s = Space::new();
+        let (f, x) = strided_formula(&mut s);
+        // ⌊n/7⌋+1 vs bounds differing by ~1: at small n the relative
+        // gap is large, so a tight tolerance forces the exact answer.
+        let r = count_adaptive(&s, &f, &[x], &[&[("n", 3)]], 0.05).unwrap();
+        assert!(r.exact.is_some());
+        assert_eq!(r.best().eval_i64(&[("n", 3)]), Some(1));
+    }
+
+    #[test]
+    fn loose_tolerance_skips_exact() {
+        let mut s = Space::new();
+        let (f, x) = strided_formula(&mut s);
+        // at n = 70_000 the relative gap is ~1/10_000
+        let r = count_adaptive(&s, &f, &[x], &[&[("n", 70_000)]], 0.01).unwrap();
+        assert!(r.exact.is_none());
+        assert!(r.max_relative_gap < 0.01);
+        // and best() (the upper bound) is within tolerance of truth
+        let truth = 70_000 / 7 + 1;
+        let best = r.best().eval_rat(&[("n", 70_000)]).to_f64();
+        assert!((best - truth as f64).abs() / truth as f64 <= 0.01);
+    }
+
+    #[test]
+    fn exact_region_has_zero_gap() {
+        // unit-coefficient bounds: the §4.6 bounds coincide with exact
+        let mut s = Space::new();
+        let x = s.var("x");
+        let n = s.var("n");
+        let f = Formula::between(Affine::constant(1), x, Affine::var(n));
+        let r = count_adaptive(&s, &f, &[x], &[&[("n", 17)]], 0.0).unwrap();
+        assert!(r.exact.is_none(), "no gap, no exact pass needed");
+        assert_eq!(r.best().eval_i64(&[("n", 17)]), Some(17));
+        let _ = n;
+    }
+}

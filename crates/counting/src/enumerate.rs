@@ -1,0 +1,142 @@
+//! Brute-force lattice-point enumeration — the ground truth every
+//! symbolic result in this repository is validated against.
+
+use presburger_arith::{Int, Rat};
+use presburger_omega::{Dnf, Formula, Space, VarId};
+use presburger_polyq::QPoly;
+
+/// Counts the assignments of `vars` within `range` (each variable
+/// independently) satisfying the **quantifier-free** formula `f`, with
+/// the remaining free variables fixed by `sym`.
+///
+/// # Panics
+///
+/// Panics if `f` contains quantifiers (simplify to a [`Dnf`] and use
+/// [`count_dnf`] instead).
+pub fn count_formula(
+    f: &Formula,
+    vars: &[VarId],
+    range: std::ops::RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+) -> u64 {
+    sum_formula(f, vars, range, sym, &QPoly::one())
+        .to_int()
+        .expect("counting 1 is integral")
+        .to_i64()
+        .expect("count fits i64") as u64
+}
+
+/// Sums `poly` over the satisfying assignments (quantifier-free `f`).
+///
+/// # Panics
+///
+/// Panics if `f` contains quantifiers.
+pub fn sum_formula(
+    f: &Formula,
+    vars: &[VarId],
+    range: std::ops::RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+    poly: &QPoly,
+) -> Rat {
+    let mut acc = Rat::zero();
+    let mut point = vec![0i64; vars.len()];
+    enumerate(vars, &range, &mut point, 0, &mut |point| {
+        let assign = |v: VarId| {
+            vars.iter()
+                .position(|x| *x == v)
+                .map(|i| Int::from(point[i]))
+                .unwrap_or_else(|| sym(v))
+        };
+        if f.eval_quantifier_free(&assign) {
+            acc += &poly.eval(&assign);
+        }
+    });
+    acc
+}
+
+/// Counts points of a simplified [`Dnf`] (handles wildcards through the
+/// feasibility test, so quantified formulas are supported after
+/// simplification).
+pub fn count_dnf(
+    dnf: &Dnf,
+    space: &Space,
+    vars: &[VarId],
+    range: std::ops::RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+) -> u64 {
+    let mut count = 0u64;
+    let mut point = vec![0i64; vars.len()];
+    enumerate(vars, &range, &mut point, 0, &mut |point| {
+        let assign = |v: VarId| {
+            vars.iter()
+                .position(|x| *x == v)
+                .map(|i| Int::from(point[i]))
+                .unwrap_or_else(|| sym(v))
+        };
+        if dnf.contains_point(space, &assign) {
+            count += 1;
+        }
+    });
+    count
+}
+
+fn enumerate(
+    vars: &[VarId],
+    range: &std::ops::RangeInclusive<i64>,
+    point: &mut Vec<i64>,
+    depth: usize,
+    visit: &mut dyn FnMut(&[i64]),
+) {
+    if depth == vars.len() {
+        visit(point);
+        return;
+    }
+    for v in range.clone() {
+        point[depth] = v;
+        enumerate(vars, range, point, depth + 1, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_omega::Affine;
+
+    #[test]
+    fn counts_triangle() {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::le(Affine::constant(1), Affine::var(i)),
+            Formula::le(Affine::var(i), Affine::var(j)),
+            Formula::le(Affine::var(j), Affine::var(n)),
+        ]);
+        let c = count_formula(&f, &[i, j], -1..=12, &|_| Int::from(5));
+        assert_eq!(c, 15); // 5·6/2
+    }
+
+    #[test]
+    fn sums_polynomial() {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let f = Formula::between(Affine::constant(1), i, Affine::constant(4));
+        let sq = QPoly::var(i) * QPoly::var(i);
+        let total = sum_formula(&f, &[i], 0..=10, &|_| Int::zero(), &sq);
+        assert_eq!(total, Rat::from(30)); // 1+4+9+16
+    }
+
+    #[test]
+    fn dnf_counting_with_strides() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(0), x, Affine::constant(10)),
+            Formula::stride(3, Affine::var(x)),
+        ]);
+        let d = presburger_omega::dnf::simplify(&f, &mut s, &Default::default());
+        let c = count_dnf(&d, &s, &[x], -2..=12, &|_| Int::zero());
+        assert_eq!(c, 4); // 0,3,6,9
+    }
+}

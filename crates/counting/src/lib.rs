@@ -1,0 +1,247 @@
+//! Symbolic counting and summation over Presburger formulas — the core
+//! of Pugh, *Counting Solutions to Presburger Formulas: How and Why*
+//! (PLDI 1994).
+//!
+//! Given a Presburger formula `P` with free variables split into
+//! *summation variables* `V` and *symbolic constants*, this crate
+//! computes the paper's
+//!
+//! ```text
+//! (Σ V : P : z)
+//! ```
+//!
+//! — the sum of the polynomial `z` over all integer assignments of `V`
+//! satisfying `P` — as a **guarded quasi-polynomial** in the symbolic
+//! constants. `(Σ V : P : 1)` is the number of solutions.
+//!
+//! # Example
+//!
+//! ```
+//! use presburger_omega::{Affine, Formula, Space};
+//! use presburger_counting::count_solutions;
+//!
+//! let mut s = Space::new();
+//! let n = s.symbol("n");
+//! let i = s.var("i");
+//! let j = s.var("j");
+//! // 1 ≤ i ≤ j ≤ n  — the triangle: n(n+1)/2 points
+//! let f = Formula::and(vec![
+//!     Formula::le(Affine::constant(1), Affine::var(i)),
+//!     Formula::le(Affine::var(i), Affine::var(j)),
+//!     Formula::le(Affine::var(j), Affine::var(n)),
+//! ]);
+//! let count = count_solutions(&s, &f, &[i, j]);
+//! assert_eq!(count.eval_i64(&[("n", 10)]), Some(55));
+//! assert_eq!(count.eval_i64(&[("n", 0)]), Some(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod basic;
+pub mod convex;
+pub mod enumerate;
+pub mod general;
+pub mod minmax;
+pub mod projected;
+
+use presburger_arith::{Int, Rat};
+use presburger_omega::{Formula, Space, VarId};
+use presburger_polyq::{GuardedValue, QPoly};
+
+/// Whether to compute exact answers or cheaper bounds (§4.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Exact symbolic answer (may splinter and introduce mod atoms).
+    #[default]
+    Exact,
+    /// An upper bound on the sum (requires a non-negative summand).
+    UpperBound,
+    /// A lower bound on the sum (requires a non-negative summand).
+    LowerBound,
+}
+
+/// Options for the counting engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CountOptions {
+    /// Exact or approximate computation.
+    pub mode: Mode,
+    /// Use the paper's §4.2 four-piece decomposition instead of direct
+    /// telescoping (for ablation studies; results are identical).
+    pub four_piece: bool,
+    /// Run complete redundant-constraint elimination before each
+    /// variable choice (§4.4 step 1). Disabling this reproduces the
+    /// Tawbi-style behaviour the paper compares against (ablation A1).
+    pub remove_redundant: bool,
+}
+
+impl Default for CountOptions {
+    fn default() -> CountOptions {
+        CountOptions {
+            mode: Mode::Exact,
+            four_piece: false,
+            remove_redundant: true,
+        }
+    }
+}
+
+/// Errors reported by the counting engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountError {
+    /// A summation variable is unbounded (the sum diverges).
+    Unbounded {
+        /// Name of the unbounded variable.
+        var: String,
+    },
+    /// The computation exceeded its recursion budget.
+    TooComplex(String),
+}
+
+impl std::fmt::Display for CountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountError::Unbounded { var } => {
+                write!(f, "summation variable {var} is unbounded")
+            }
+            CountError::TooComplex(what) => write!(f, "computation too complex: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+/// A symbolic result together with the space its guards refer to.
+///
+/// Counting may intern fresh auxiliary variables, so the result carries
+/// its own copy of the space for evaluation and printing.
+#[derive(Clone, Debug)]
+pub struct Symbolic {
+    /// The space in which guards and polynomials are interpreted.
+    pub space: Space,
+    /// The guarded quasi-polynomial value.
+    pub value: GuardedValue,
+}
+
+impl Symbolic {
+    /// Evaluates the result with symbols bound by name.
+    ///
+    /// Returns `None` if the value is not an integer at that point
+    /// (indicating a bug — counts are always integral).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mentioned symbol has no binding.
+    pub fn eval_i64(&self, bindings: &[(&str, i64)]) -> Option<i64> {
+        self.value.eval_i64(&self.space, bindings)
+    }
+
+    /// Evaluates to an exact rational with symbols bound by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mentioned symbol has no binding.
+    pub fn eval_rat(&self, bindings: &[(&str, i64)]) -> Rat {
+        self.value.eval_named(&self.space, bindings)
+    }
+
+    /// Evaluates with an arbitrary assignment function.
+    pub fn eval_with(&self, assign: &dyn Fn(VarId) -> Int) -> Rat {
+        self.value.eval(&self.space, assign)
+    }
+
+    /// Number of guarded pieces in the answer.
+    pub fn num_pieces(&self) -> usize {
+        self.value.pieces().len()
+    }
+
+    /// Renders the value in the paper's `(Σ : P : z)` notation.
+    pub fn to_display_string(&self) -> String {
+        self.value.to_string(&self.space)
+    }
+
+    /// Adds another symbolic value (e.g. combining footprints of two
+    /// arrays). Both must stem from the same base [`Space`]: the
+    /// variables they share by index must agree by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces disagree on a shared variable name.
+    pub fn add(&self, other: &Symbolic) -> Symbolic {
+        let (longer, shorter) = if self.space.len() >= other.space.len() {
+            (&self.space, &other.space)
+        } else {
+            (&other.space, &self.space)
+        };
+        for v in shorter.iter() {
+            assert_eq!(
+                shorter.name(v),
+                longer.name(v),
+                "symbolic values come from incompatible spaces"
+            );
+        }
+        let mut value = self.value.clone();
+        value.add(other.value.clone());
+        value.compact();
+        Symbolic {
+            space: longer.clone(),
+            value,
+        }
+    }
+
+    /// Scales the value by a rational factor (e.g. bytes per element).
+    pub fn scale(&self, k: &Rat) -> Symbolic {
+        Symbolic {
+            space: self.space.clone(),
+            value: self.value.scale(k),
+        }
+    }
+}
+
+/// Counts the integer solutions of `f` over `vars`, symbolically in the
+/// remaining free variables.
+///
+/// # Panics
+///
+/// Panics if the count is infinite (a variable is unbounded) or the
+/// computation exceeds its budget; use [`try_count_solutions`] for a
+/// fallible version.
+pub fn count_solutions(space: &Space, f: &Formula, vars: &[VarId]) -> Symbolic {
+    try_count_solutions(space, f, vars, &CountOptions::default())
+        .unwrap_or_else(|e| panic!("count_solutions failed: {e}"))
+}
+
+/// Fallible, configurable version of [`count_solutions`].
+pub fn try_count_solutions(
+    space: &Space,
+    f: &Formula,
+    vars: &[VarId],
+    opts: &CountOptions,
+) -> Result<Symbolic, CountError> {
+    try_sum_polynomial(space, f, vars, &QPoly::one(), opts)
+}
+
+/// Sums `poly` over the integer solutions of `f` in `vars` (the paper's
+/// `(Σ V : P : z)`).
+///
+/// # Panics
+///
+/// Panics when the sum diverges or the computation exceeds its budget;
+/// use [`try_sum_polynomial`] for a fallible version.
+pub fn sum_polynomial(space: &Space, f: &Formula, vars: &[VarId], poly: &QPoly) -> Symbolic {
+    try_sum_polynomial(space, f, vars, poly, &CountOptions::default())
+        .unwrap_or_else(|e| panic!("sum_polynomial failed: {e}"))
+}
+
+/// Fallible, configurable version of [`sum_polynomial`].
+pub fn try_sum_polynomial(
+    space: &Space,
+    f: &Formula,
+    vars: &[VarId],
+    poly: &QPoly,
+    opts: &CountOptions,
+) -> Result<Symbolic, CountError> {
+    let mut space = space.clone();
+    let value = general::sum_formula(f, vars, poly, &mut space, opts)?;
+    Ok(Symbolic { space, value })
+}

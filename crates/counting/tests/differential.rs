@@ -1,0 +1,240 @@
+//! Heavier differential tests for the counting engine: deeper nests,
+//! mixed strides/equalities/negations with a symbolic parameter, and
+//! polynomial summands — all validated against brute force.
+
+use presburger_arith::{Int, Rat};
+use presburger_counting::{
+    enumerate, try_count_solutions, try_sum_polynomial, CountOptions,
+};
+use presburger_omega::{Affine, Formula, Space, VarId};
+use presburger_polyq::QPoly;
+use proptest::prelude::*;
+
+fn check_against_brute(
+    s: &Space,
+    f: &Formula,
+    vars: &[VarId],
+    brute_range: std::ops::RangeInclusive<i64>,
+    ns: std::ops::RangeInclusive<i64>,
+) -> Result<(), TestCaseError> {
+    let sym = try_count_solutions(s, f, vars, &CountOptions::default())
+        .map_err(|e| TestCaseError::fail(format!("count failed: {e}")))?;
+    for nv in ns {
+        let brute = enumerate::count_formula(f, vars, brute_range.clone(), &|_| Int::from(nv));
+        prop_assert_eq!(
+            sym.eval_i64(&[("n", nv)]),
+            Some(brute as i64),
+            "n={}",
+            nv
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Four-deep triangular-ish nests with a random tail constraint.
+    #[test]
+    fn four_deep_nests(a in -2i64..=2, b in -2i64..=2, k in -4i64..=8) {
+        let mut s = Space::new();
+        let v: Vec<VarId> = (0..4).map(|d| s.var(&format!("v{d}"))).collect();
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), v[0], Affine::var(n)),
+            Formula::between(Affine::constant(1), v[1], Affine::var(v[0])),
+            Formula::between(Affine::var(v[1]), v[2], Affine::var(n)),
+            Formula::between(Affine::constant(1), v[3], Affine::var(v[2])),
+            Formula::ge(Affine::from_terms(&[(v[0], a), (v[3], b)], k)),
+        ]);
+        check_against_brute(&s, &f, &v, 0..=6, 0..=5)?;
+    }
+
+    /// Strides on several variables at once.
+    #[test]
+    fn multi_stride(m1 in 2i64..=3, m2 in 2i64..=4, r in 0i64..=1) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(0), x, Affine::var(n)),
+            Formula::between(Affine::var(x), y, Affine::var(n)),
+            Formula::stride(m1, Affine::var(x) + Affine::constant(r)),
+            Formula::stride(m2, Affine::var(y) - Affine::var(x)),
+        ]);
+        check_against_brute(&s, &f, &[x, y], -1..=12, -1..=11)?;
+    }
+
+    /// Equality chains through several variables.
+    #[test]
+    fn equality_chains(c1 in 1i64..=3, c2 in 1i64..=3, off in -2i64..=2) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let z = s.var("z");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::eq(Affine::term(x, c1), Affine::term(y, c2) + Affine::constant(off)),
+            Formula::eq(Affine::var(z), Affine::var(x) + Affine::var(y)),
+            Formula::between(Affine::constant(-5), x, Affine::constant(9)),
+            Formula::between(Affine::constant(-5), y, Affine::var(n)),
+            Formula::between(Affine::constant(-12), z, Affine::constant(16)),
+        ]);
+        check_against_brute(&s, &f, &[x, y, z], -12..=18, -2..=9)?;
+    }
+
+    /// Nested negations (a hole inside a hole).
+    #[test]
+    fn nested_negations(h0 in 0i64..=3, h1 in 0i64..=2) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let n = s.var("n");
+        let inner_hole = Formula::between(
+            Affine::constant(h0),
+            x,
+            Affine::constant(h0 + 4),
+        );
+        let islet = Formula::between(
+            Affine::constant(h0 + h1),
+            x,
+            Affine::constant(h0 + h1 + 1),
+        );
+        // box ∧ ¬(hole ∧ ¬islet): box minus hole, plus the islet back
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(-2), x, Affine::var(n)),
+            Formula::not(Formula::and(vec![inner_hole, Formula::not(islet)])),
+        ]);
+        check_against_brute(&s, &f, &[x], -6..=14, -3..=12)?;
+    }
+
+    /// Quantifier alternation: ∀ inside the counted formula.
+    #[test]
+    fn forall_inside(w in 1i64..=3) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let t = s.var("t");
+        let n = s.var("n");
+        // count x in [0, n] such that ∀t: (0 ≤ t ≤ w) → (x + t ≤ n)
+        // ⇔ x ≤ n − w
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(0), x, Affine::var(n)),
+            Formula::forall(
+                vec![t],
+                Formula::implies(
+                    Formula::between(Affine::constant(0), t, Affine::constant(w)),
+                    Formula::le(Affine::var(x) + Affine::var(t), Affine::var(n)),
+                ),
+            ),
+        ]);
+        let sym = try_count_solutions(&s, &f, &[x], &CountOptions::default()).unwrap();
+        for nv in -2i64..=10 {
+            let expect = (nv - w + 1).max(0);
+            prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(expect), "n={}", nv);
+        }
+    }
+
+    /// Cubic summands over triangles.
+    #[test]
+    fn cubic_summands(c3 in -2i64..=2) {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::var(n)),
+            Formula::between(Affine::constant(1), j, Affine::var(i)),
+        ]);
+        // z = i²·j + c3·j³
+        let z = QPoly::var(i) * QPoly::var(i) * QPoly::var(j)
+            + (QPoly::var(j) * QPoly::var(j) * QPoly::var(j)).scale(&Rat::from(c3));
+        let sym = try_sum_polynomial(&s, &f, &[i, j], &z, &CountOptions::default()).unwrap();
+        for nv in 0i64..=7 {
+            let brute = enumerate::sum_formula(&f, &[i, j], 0..=8, &|_| Int::from(nv), &z);
+            prop_assert_eq!(sym.eval_rat(&[("n", nv)]), brute, "n={}", nv);
+        }
+    }
+
+    /// Two symbolic parameters with coupled constraints.
+    #[test]
+    fn two_symbols_coupled(a in 1i64..=2, b in 1i64..=2) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let n = s.var("n");
+        let m = s.var("m");
+        let f = Formula::and(vec![
+            Formula::le(Affine::constant(0), Affine::var(x)),
+            Formula::le(Affine::term(x, a), Affine::var(n)),
+            Formula::le(Affine::term(x, b), Affine::var(m)),
+        ]);
+        let sym = try_count_solutions(&s, &f, &[x], &CountOptions::default()).unwrap();
+        for nv in -1i64..=8 {
+            for mv in -1i64..=8 {
+                let brute = (0..=20i64)
+                    .filter(|&xv| a * xv <= nv && b * xv <= mv)
+                    .count() as i64;
+                prop_assert_eq!(
+                    sym.eval_i64(&[("n", nv), ("m", mv)]),
+                    Some(brute),
+                    "n={} m={}",
+                    nv,
+                    mv
+                );
+            }
+        }
+    }
+}
+
+/// Determinism: the same query twice gives structurally equal output.
+#[test]
+fn counting_is_deterministic() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.var("n");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::le(Affine::term(j, 2), Affine::term(i, 3)),
+        Formula::le(Affine::constant(1), Affine::var(j)),
+    ]);
+    let a = try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap();
+    let b = try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap();
+    assert_eq!(a.to_display_string(), b.to_display_string());
+}
+
+/// The four-piece option agrees with the default through the whole
+/// engine (not just the basic-sums module).
+#[test]
+fn four_piece_engine_agreement() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.var("n");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(-3), i, Affine::var(n)),
+        Formula::between(Affine::var(i) - Affine::constant(2), j, Affine::var(n)),
+    ]);
+    let z = QPoly::var(i) * QPoly::var(j) + QPoly::var(j);
+    let default = try_sum_polynomial(&s, &f, &[i, j], &z, &CountOptions::default()).unwrap();
+    let four = try_sum_polynomial(
+        &s,
+        &f,
+        &[i, j],
+        &z,
+        &CountOptions {
+            four_piece: true,
+            ..CountOptions::default()
+        },
+    )
+    .unwrap();
+    for nv in -5i64..=7 {
+        assert_eq!(
+            default.eval_rat(&[("n", nv)]),
+            four.eval_rat(&[("n", nv)]),
+            "n={nv}"
+        );
+    }
+    // negative bounds are exactly where the four-piece guards matter
+    let brute = enumerate::sum_formula(&f, &[i, j], -6..=8, &|_| Int::from(4), &z);
+    assert_eq!(default.eval_rat(&[("n", 4)]), brute);
+}

@@ -1,0 +1,289 @@
+//! Conversion of overlapping DNF into **disjoint** DNF (§5.3).
+//!
+//! Counting the points of a union clause-by-clause requires the clauses
+//! to be pairwise disjoint (§4.5.1) — otherwise inclusion–exclusion
+//! needs `2^k − 1` summations. The paper's conversion:
+//!
+//! 1. drop clauses that are subsets of other clauses;
+//! 2. split the clauses into connected components of the overlap graph
+//!    (components never interact);
+//! 3. within a component, extract one clause `C₁` — preferably an
+//!    articulation point of the graph, otherwise the clause with the
+//!    fewest constraints — and rewrite `C₁ ∨ rest` as
+//!    `C₁ + (¬C₁ ∧ rest)`;
+//! 4. shrink `¬C₁` with `gist C₁ given Cⱼ` before distributing, and use
+//!    *disjoint negation* `¬c₁ + c₁∧¬c₂ + c₁∧c₂∧¬c₃ + …` so the pieces
+//!    never overlap each other.
+
+use crate::conjunct::Conjunct;
+use crate::dnf::{negate_clause, prune_subsets};
+use crate::feasible::is_feasible;
+use crate::redundant::gist;
+use crate::space::Space;
+
+/// Converts a list of possibly-overlapping clauses into an equivalent
+/// list of pairwise-disjoint clauses.
+pub fn make_disjoint(clauses: Vec<Conjunct>, space: &mut Space) -> Vec<Conjunct> {
+    let clauses = prune_subsets(clauses, space);
+    let mut out = Vec::new();
+    let mut fuel = 500usize;
+    for component in components(clauses, space) {
+        out.extend(disjoint_component(component, space, &mut fuel));
+    }
+    out
+}
+
+/// Groups clauses into connected components of the overlap graph
+/// (§5.3 step 2).
+fn components(clauses: Vec<Conjunct>, space: &mut Space) -> Vec<Vec<Conjunct>> {
+    let n = clauses.len();
+    let adj = overlap_graph(&clauses, space);
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if adj[i][j] && comp[j] == usize::MAX {
+                    comp[j] = next;
+                    stack.push(j);
+                }
+            }
+        }
+        next += 1;
+    }
+    let mut groups: Vec<Vec<Conjunct>> = (0..next).map(|_| Vec::new()).collect();
+    for (c, k) in clauses.into_iter().zip(comp) {
+        groups[k].push(c);
+    }
+    groups
+}
+
+fn overlap_graph(clauses: &[Conjunct], space: &mut Space) -> Vec<Vec<bool>> {
+    let n = clauses.len();
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut both = clauses[i].clone();
+            both.and(&clauses[j]);
+            if is_feasible(&both, space) {
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+    }
+    adj
+}
+
+fn disjoint_component(
+    mut clauses: Vec<Conjunct>,
+    space: &mut Space,
+    fuel: &mut usize,
+) -> Vec<Conjunct> {
+    let mut out = Vec::new();
+    loop {
+        *fuel = fuel.saturating_sub(1);
+        assert!(*fuel > 0, "disjoint DNF conversion exhausted its budget");
+        if clauses.len() <= 1 {
+            out.extend(clauses);
+            return out;
+        }
+        let adj = overlap_graph(&clauses, space);
+        // if the component has become disconnected, split it
+        let any_overlap = adj.iter().flatten().any(|b| *b);
+        if !any_overlap {
+            out.extend(clauses);
+            return out;
+        }
+        // §5.3 step 3: pick an articulation point if one exists,
+        // otherwise the clause with the fewest constraints.
+        let pick = articulation_point(&adj)
+            .unwrap_or_else(|| fewest_constraints(&clauses));
+        let c1 = clauses.remove(pick);
+        // C₁ goes straight to the output; the rest become ¬C₁ ∧ Cⱼ.
+        let mut rest = Vec::new();
+        for cj in clauses.drain(..) {
+            let mut both = c1.clone();
+            both.and(&cj);
+            if !is_feasible(&both, space) {
+                rest.push(cj); // already disjoint from C₁
+                continue;
+            }
+            // step 4: gist C₁ given Cⱼ before negating
+            let g = gist(&c1, &cj, space);
+            if g.is_trivially_true() {
+                // Cⱼ ⊆ C₁ entirely; drop it
+                continue;
+            }
+            for neg in negate_clause(&g, space) {
+                let mut piece = cj.clone();
+                piece.and(&neg);
+                piece.normalize();
+                if !piece.is_false() && is_feasible(&piece, space) {
+                    rest.push(piece);
+                }
+            }
+        }
+        out.push(c1);
+        clauses = rest;
+    }
+}
+
+/// Finds a vertex whose removal disconnects the graph, if any.
+fn articulation_point(adj: &[Vec<bool>]) -> Option<usize> {
+    let n = adj.len();
+    if n <= 2 {
+        return None;
+    }
+    let count_components = |skip: Option<usize>| -> usize {
+        let mut seen = vec![false; n];
+        if let Some(skip) = skip {
+            seen[skip] = true;
+        }
+        let mut comps = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            comps += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(i) = stack.pop() {
+                for j in 0..n {
+                    if adj[i][j] && !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        comps
+    };
+    let base = count_components(None);
+    (0..n).find(|&v| count_components(Some(v)) > base)
+}
+
+fn fewest_constraints(clauses: &[Conjunct]) -> usize {
+    let size = |c: &Conjunct| c.eqs().len() + c.geqs().len() + c.strides().len();
+    (0..clauses.len())
+        .min_by_key(|&i| size(&clauses[i]))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::space::VarId;
+    use presburger_arith::Int;
+
+    fn interval(x: VarId, lo: i64, hi: i64) -> Conjunct {
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 1)], -lo));
+        c.add_geq(Affine::from_terms(&[(x, -1)], hi));
+        c
+    }
+
+    fn check_equivalent_and_disjoint(
+        before: &[Conjunct],
+        after: &[Conjunct],
+        space: &Space,
+        range: std::ops::RangeInclusive<i64>,
+        vars: &[VarId],
+    ) {
+        assert_eq!(vars.len(), 1, "helper supports 1 free var");
+        for xv in range {
+            let assign = |_: VarId| Int::from(xv);
+            let was = before.iter().any(|c| c.contains_point(space, &assign));
+            let hits = after
+                .iter()
+                .filter(|c| c.contains_point(space, &assign))
+                .count();
+            assert_eq!(hits > 0, was, "coverage differs at {xv}");
+            assert!(hits <= 1, "overlap at {xv}: {hits} clauses");
+        }
+    }
+
+    #[test]
+    fn two_overlapping_intervals() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let before = vec![interval(x, 1, 6), interval(x, 4, 10)];
+        let after = make_disjoint(before.clone(), &mut s);
+        check_equivalent_and_disjoint(&before, &after, &s, -2..=12, &[x]);
+    }
+
+    #[test]
+    fn chain_of_three() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let before = vec![interval(x, 1, 5), interval(x, 4, 9), interval(x, 8, 12)];
+        let after = make_disjoint(before.clone(), &mut s);
+        check_equivalent_and_disjoint(&before, &after, &s, -2..=14, &[x]);
+    }
+
+    #[test]
+    fn disjoint_input_is_unchanged_in_meaning() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let before = vec![interval(x, 1, 3), interval(x, 7, 9)];
+        let after = make_disjoint(before.clone(), &mut s);
+        assert_eq!(after.len(), 2);
+        check_equivalent_and_disjoint(&before, &after, &s, -2..=11, &[x]);
+    }
+
+    #[test]
+    fn subset_is_dropped() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let before = vec![interval(x, 2, 4), interval(x, 1, 10)];
+        let after = make_disjoint(before.clone(), &mut s);
+        assert_eq!(after.len(), 1);
+        check_equivalent_and_disjoint(&before, &after, &s, -2..=12, &[x]);
+    }
+
+    #[test]
+    fn strided_overlap() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        // evens in 0..=10 and all of 4..=6
+        let mut evens = interval(x, 0, 10);
+        evens.add_stride(Int::from(2), Affine::var(x));
+        let before = vec![evens, interval(x, 4, 6)];
+        let after = make_disjoint(before.clone(), &mut s);
+        check_equivalent_and_disjoint(&before, &after, &s, -2..=12, &[x]);
+    }
+
+    #[test]
+    fn two_dimensional_boxes() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let boxy = |x0: i64, x1: i64, y0: i64, y1: i64| {
+            let mut c = Conjunct::new();
+            c.add_geq(Affine::from_terms(&[(x, 1)], -x0));
+            c.add_geq(Affine::from_terms(&[(x, -1)], x1));
+            c.add_geq(Affine::from_terms(&[(y, 1)], -y0));
+            c.add_geq(Affine::from_terms(&[(y, -1)], y1));
+            c
+        };
+        let before = vec![boxy(0, 4, 0, 4), boxy(2, 6, 2, 6), boxy(5, 8, 0, 3)];
+        let after = make_disjoint(before.clone(), &mut s);
+        for xv in -1i64..=9 {
+            for yv in -1i64..=7 {
+                let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
+                let was = before.iter().any(|c| c.contains_point(&s, &assign));
+                let hits = after
+                    .iter()
+                    .filter(|c| c.contains_point(&s, &assign))
+                    .count();
+                assert_eq!(hits > 0, was, "coverage differs at ({xv},{yv})");
+                assert!(hits <= 1, "overlap at ({xv},{yv})");
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Integer variable elimination: real shadow, dark shadow, and the
+//! paper's two splintering algorithms (Figure 1).
+//!
+//! Eliminating `z` from a conjunction combines every lower bound
+//! `β ≤ b·z` with every upper bound `a·z ≤ α`:
+//!
+//! * the **real shadow** constraint `a·β ≤ b·α` is satisfied by every
+//!   point whose fiber contains a *rational* `z` — an upper
+//!   approximation of the integer projection;
+//! * the **dark shadow** constraint `a·β + (a−1)(b−1) ≤ b·α` guarantees
+//!   an *integer* `z` exists — a lower approximation;
+//! * when `a = 1` or `b = 1` for every pair the two coincide and the
+//!   projection is exact;
+//! * otherwise the points missed by the dark shadow are covered by
+//!   finitely many **splinters**, each carrying an equality on `z` that
+//!   allows exact elimination via [`crate::eqelim`].
+//!
+//! [`eliminate`] implements four modes; `ExactDisjoint` reproduces the
+//! disjoint splintering of §5.2 where the result clauses are pairwise
+//! disjoint *in the projected space* — the property the counting engine
+//! needs (§4.5.1).
+
+use crate::affine::Affine;
+use crate::conjunct::{Bound, Conjunct};
+use crate::eqelim::eliminate_via_equality;
+use crate::space::{Space, VarId};
+use presburger_arith::Int;
+
+/// How to approximate (or not) when eliminating an integer variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shadow {
+    /// Keep only the real shadow: an **over**-approximation (§4.6).
+    Real,
+    /// Keep only the dark shadow: an **under**-approximation (§4.6).
+    Dark,
+    /// Exact; splinters may overlap (Figure 1, left).
+    ExactOverlapping,
+    /// Exact; result clauses are disjoint in the projected space
+    /// (Figure 1, right / §5.2).
+    ExactDisjoint,
+}
+
+/// Result of an elimination.
+#[derive(Clone, Debug)]
+pub struct Eliminated {
+    /// Whether the union of `clauses` is exactly the integer projection.
+    pub exact: bool,
+    /// Whether the clauses are guaranteed pairwise disjoint.
+    pub disjoint: bool,
+    /// The projection, as a disjunction of conjuncts.
+    pub clauses: Vec<Conjunct>,
+}
+
+/// Eliminates `v` (treated as existentially quantified) from `c`.
+///
+/// Strides mentioning `v` are converted to wildcard equalities first;
+/// an equality mentioning `v` always gives a single exact clause.
+pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eliminated {
+    let mut c = c.clone();
+    c.add_wildcard(v);
+    c.normalize();
+    if c.is_false() {
+        return Eliminated {
+            exact: true,
+            disjoint: true,
+            clauses: vec![],
+        };
+    }
+    if c.strides().iter().any(|(_, e)| e.mentions(v)) {
+        c.stride_to_wildcard(space);
+        c.normalize();
+        if c.is_false() {
+            return Eliminated {
+                exact: true,
+                disjoint: true,
+                clauses: vec![],
+            };
+        }
+    }
+    if let Some(idx) = c.eqs().iter().position(|e| e.mentions(v)) {
+        let r = eliminate_via_equality(&c, v, idx);
+        let clauses = if r.is_false() { vec![] } else { vec![r] };
+        return Eliminated {
+            exact: true,
+            disjoint: true,
+            clauses,
+        };
+    }
+    if !c.mentions(v) {
+        let mut r = c.clone();
+        r.wildcards.retain(|w| *w != v);
+        return Eliminated {
+            exact: true,
+            disjoint: true,
+            clauses: vec![r],
+        };
+    }
+
+    let (lowers, uppers, _) = c.bounds_on(v);
+    // Unbounded on one side: an integer v always exists.
+    if lowers.is_empty() || uppers.is_empty() {
+        let mut r = base_without(&c, v);
+        r.normalize();
+        return Eliminated {
+            exact: true,
+            disjoint: true,
+            clauses: if r.is_false() { vec![] } else { vec![r] },
+        };
+    }
+
+    let all_exact = lowers
+        .iter()
+        .all(|l| l.coeff.is_one())
+        || uppers.iter().all(|u| u.coeff.is_one());
+    // pairwise exactness is what actually matters
+    let pair_exact = lowers.iter().all(|l| {
+        uppers
+            .iter()
+            .all(|u| l.coeff.is_one() || u.coeff.is_one())
+    });
+    let _ = all_exact;
+
+    if pair_exact || mode == Shadow::Real {
+        let mut r = base_without(&c, v);
+        add_shadow(&mut r, &lowers, &uppers, false);
+        r.normalize();
+        return Eliminated {
+            exact: pair_exact,
+            disjoint: true,
+            clauses: if r.is_false() { vec![] } else { vec![r] },
+        };
+    }
+    if mode == Shadow::Dark {
+        let mut r = base_without(&c, v);
+        add_shadow(&mut r, &lowers, &uppers, true);
+        r.normalize();
+        return Eliminated {
+            exact: false,
+            disjoint: true,
+            clauses: if r.is_false() { vec![] } else { vec![r] },
+        };
+    }
+
+    match mode {
+        Shadow::ExactOverlapping => {
+            let mut clauses = Vec::new();
+            let mut dark = base_without(&c, v);
+            add_shadow(&mut dark, &lowers, &uppers, true);
+            dark.normalize();
+            if !dark.is_false() {
+                clauses.push(dark);
+            }
+            // Splinters (Figure 1, left): for each lower bound β ≤ b·v,
+            // try b·v = β + i for i = 0 .. ((a_max−1)(b−1)−1)/a_max.
+            let amax = uppers.iter().map(|u| u.coeff.clone()).max().unwrap();
+            for l in &lowers {
+                if l.coeff.is_one() {
+                    continue;
+                }
+                let top = (&(&amax - &Int::one()) * &(&l.coeff - &Int::one()) - Int::one())
+                    .div_floor(&amax);
+                let mut i = Int::zero();
+                while i <= top {
+                    let mut s = c.clone();
+                    // b·v - β - i = 0
+                    let mut eq = l.expr.clone();
+                    eq = -&eq;
+                    eq.set_coeff(v, l.coeff.clone());
+                    eq.add_constant(&-i.clone());
+                    s.add_eq(eq);
+                    s.normalize();
+                    if !s.is_false() {
+                        let idx = s
+                            .eqs()
+                            .iter()
+                            .position(|e| e.mentions(v))
+                            .expect("splinter equality must mention v");
+                        let r = eliminate_via_equality(&s, v, idx);
+                        if !r.is_false() {
+                            clauses.push(r);
+                        }
+                    }
+                    i += &Int::one();
+                }
+            }
+            Eliminated {
+                exact: true,
+                disjoint: false,
+                clauses,
+            }
+        }
+        Shadow::ExactDisjoint => {
+            // §5.2: partition the projected space by the first
+            // lower×upper pair whose dark-shadow constraint fails, and
+            // within it by the (constant) value of b·α − a·β.
+            let mut clauses = Vec::new();
+            let mut dark = base_without(&c, v);
+            add_shadow(&mut dark, &lowers, &uppers, true);
+            dark.normalize();
+            if !dark.is_false() {
+                clauses.push(dark);
+            }
+            let mut pairs = Vec::new();
+            for l in &lowers {
+                for u in &uppers {
+                    pairs.push((l.clone(), u.clone()));
+                }
+            }
+            for (k, (l, u)) in pairs.iter().enumerate() {
+                let gap = &(&l.coeff - &Int::one()) * &(&u.coeff - &Int::one());
+                if gap.is_zero() {
+                    continue; // dark == real for this pair, never fails alone
+                }
+                let mut i = Int::zero();
+                while i < gap {
+                    // region: earlier pairs' dark constraints hold, and
+                    // b·α − a·β = i  (dark for this pair fails).
+                    let mut region = c.clone();
+                    for (l2, u2) in pairs.iter().take(k) {
+                        region.add_geq(dark_constraint(l2, u2));
+                    }
+                    // b·α − a·β − i = 0  — no v involved
+                    let balpha = Affine::zero().add_scaled(&u.expr, &l.coeff);
+                    let abeta = Affine::zero().add_scaled(&l.expr, &u.coeff);
+                    let mut eq = &balpha - &abeta;
+                    eq.add_constant(&-i.clone());
+                    region.add_eq(eq);
+                    // within the region: a·β ≤ a·b·v ≤ b·α = a·β + i,
+                    // so a·b·v = a·β + j for exactly one j in 0..=i.
+                    let mut j = Int::zero();
+                    while j <= i {
+                        let mut s = region.clone();
+                        let mut eqv = -&abeta;
+                        eqv.set_coeff(v, &l.coeff * &u.coeff);
+                        eqv.add_constant(&-j.clone());
+                        s.add_eq(eqv);
+                        s.normalize();
+                        if !s.is_false() {
+                            if let Some(idx) = s.eqs().iter().position(|e| e.mentions(v)) {
+                                let r = eliminate_via_equality(&s, v, idx);
+                                if !r.is_false() {
+                                    clauses.push(r);
+                                }
+                            }
+                        }
+                        j += &Int::one();
+                    }
+                    i += &Int::one();
+                }
+            }
+            Eliminated {
+                exact: true,
+                disjoint: true,
+                clauses,
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The conjunct without any constraint mentioning `v` (and without `v`
+/// in the wildcard list).
+fn base_without(c: &Conjunct, v: VarId) -> Conjunct {
+    let mut r = Conjunct::new();
+    for w in c.wildcards() {
+        if *w != v {
+            r.add_wildcard(*w);
+        }
+    }
+    for e in c.eqs() {
+        if !e.mentions(v) {
+            r.add_eq(e.clone());
+        }
+    }
+    for e in c.geqs() {
+        if !e.mentions(v) {
+            r.add_geq(e.clone());
+        }
+    }
+    for (m, e) in c.strides() {
+        if !e.mentions(v) {
+            r.add_stride(m.clone(), e.clone());
+        }
+    }
+    r
+}
+
+/// The dark- (or real-) shadow constraint for a lower/upper bound pair:
+/// `b·α − a·β − (a−1)(b−1) ≥ 0` (dark) or `b·α − a·β ≥ 0` (real).
+fn dark_constraint(l: &Bound, u: &Bound) -> crate::affine::Affine {
+    let balpha = crate::affine::Affine::zero().add_scaled(&u.expr, &l.coeff);
+    let abeta = crate::affine::Affine::zero().add_scaled(&l.expr, &u.coeff);
+    let mut e = &balpha - &abeta;
+    let gap = &(&l.coeff - &Int::one()) * &(&u.coeff - &Int::one());
+    e.add_constant(&-gap);
+    e
+}
+
+fn add_shadow(r: &mut Conjunct, lowers: &[Bound], uppers: &[Bound], dark: bool) {
+    for l in lowers {
+        for u in uppers {
+            if dark {
+                r.add_geq(dark_constraint(l, u));
+            } else {
+                let balpha = crate::affine::Affine::zero().add_scaled(&u.expr, &l.coeff);
+                let abeta = crate::affine::Affine::zero().add_scaled(&l.expr, &u.coeff);
+                r.add_geq(&balpha - &abeta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+
+    /// Ground truth: does an integer v in [-100, 100] satisfy all the
+    /// constraints of `c` once the other variables are fixed?
+    fn exists_v(c: &Conjunct, space: &Space, v: VarId, assign: &dyn Fn(VarId) -> Int) -> bool {
+        (-100i64..=100).any(|vv| {
+            c.contains_point(space, &|x| if x == v { Int::from(vv) } else { assign(x) })
+        })
+    }
+
+    fn check_elimination(c: &Conjunct, space: &mut Space, v: VarId, free: VarId, mode: Shadow) {
+        let r = eliminate(c, v, space, mode);
+        assert!(r.exact, "mode {mode:?} should be exact");
+        for fv in -40i64..=40 {
+            let assign = |x: VarId| {
+                assert_eq!(x, free);
+                Int::from(fv)
+            };
+            let expected = exists_v(c, space, v, &assign);
+            let got = r
+                .clauses
+                .iter()
+                .any(|cl| cl.contains_point(space, &assign));
+            assert_eq!(got, expected, "mode {mode:?}, {}={fv}", space.name(free));
+            if mode == Shadow::ExactDisjoint {
+                let hits = r
+                    .clauses
+                    .iter()
+                    .filter(|cl| cl.contains_point(space, &assign))
+                    .count();
+                assert!(hits <= 1, "clauses overlap at {fv}: {hits}");
+            }
+        }
+    }
+
+    /// The paper's §5.2 example: ∃β : 0 ≤ 3β − α ≤ 7 ∧ 1 ≤ α − 2β ≤ 5.
+    /// Integer solutions: α = 3, 5 ≤ α ≤ 27, α = 29.
+    fn paper_example(space: &mut Space) -> (Conjunct, VarId, VarId) {
+        let alpha = space.var("alpha");
+        let beta = space.var("beta");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(beta, 3), (alpha, -1)], 0)); // 3β − α ≥ 0
+        c.add_geq(Affine::from_terms(&[(beta, -3), (alpha, 1)], 7)); // 3β − α ≤ 7
+        c.add_geq(Affine::from_terms(&[(alpha, 1), (beta, -2)], -1)); // α − 2β ≥ 1
+        c.add_geq(Affine::from_terms(&[(alpha, -1), (beta, 2)], 5)); // α − 2β ≤ 5
+        (c, alpha, beta)
+    }
+
+    #[test]
+    fn paper_52_overlapping() {
+        let mut space = Space::new();
+        let (c, alpha, beta) = paper_example(&mut space);
+        check_elimination(&c, &mut space, beta, alpha, Shadow::ExactOverlapping);
+    }
+
+    #[test]
+    fn paper_52_disjoint() {
+        let mut space = Space::new();
+        let (c, alpha, beta) = paper_example(&mut space);
+        check_elimination(&c, &mut space, beta, alpha, Shadow::ExactDisjoint);
+    }
+
+    #[test]
+    fn paper_52_dark_shadow_is_sound() {
+        let mut space = Space::new();
+        let (c, _alpha, beta) = paper_example(&mut space);
+        let r = eliminate(&c, beta, &mut space, Shadow::Dark);
+        assert!(!r.exact);
+        // every dark-shadow point must have an integer β
+        for av in -5i64..=40 {
+            let assign = |_x: VarId| Int::from(av);
+            let in_dark = r.clauses.iter().any(|cl| cl.contains_point(&space, &assign));
+            if in_dark {
+                assert!(exists_v(&c, &space, beta, &assign), "alpha={av}");
+            }
+        }
+        // and the dark shadow must cover the bulk 5..=27 region
+        // (per the analysis in the paper, up to the exact pairing used)
+        let mid = |av: i64| {
+            r.clauses
+                .iter()
+                .any(|cl| cl.contains_point(&space, &|_| Int::from(av)))
+        };
+        assert!(mid(10) && mid(20));
+        assert!(!mid(3) && !mid(29), "edges are not in the dark shadow");
+    }
+
+    #[test]
+    fn real_shadow_is_complete() {
+        let mut space = Space::new();
+        let (c, alpha, beta) = paper_example(&mut space);
+        let r = eliminate(&c, beta, &mut space, Shadow::Real);
+        for av in -5i64..=40 {
+            let assign = |_x: VarId| Int::from(av);
+            if exists_v(&c, &space, beta, &assign) {
+                assert!(
+                    r.clauses.iter().any(|cl| cl.contains_point(&space, &assign)),
+                    "real shadow must contain alpha={av}"
+                );
+            }
+        }
+        let _ = alpha;
+    }
+
+    #[test]
+    fn exact_when_unit_coefficient() {
+        // ∃y: x ≤ y ≤ x + 5 ∧ 2y ≤ z  — lower coeff 1 ⇒ exact, no splinters
+        let mut space = Space::new();
+        let x = space.var("x");
+        let y = space.var("y");
+        let z = space.var("z");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(y, 1), (x, -1)], 0));
+        c.add_geq(Affine::from_terms(&[(y, -1), (x, 1)], 5));
+        c.add_geq(Affine::from_terms(&[(z, 1), (y, -2)], 0));
+        let r = eliminate(&c, y, &mut space, Shadow::ExactOverlapping);
+        assert!(r.exact);
+        assert_eq!(r.clauses.len(), 1);
+        for xv in -6i64..=6 {
+            for zv in -6i64..=12 {
+                let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(zv) };
+                let expected = (xv..=xv + 5).any(|yv| 2 * yv <= zv);
+                let got = r.clauses[0].contains_point(&space, &assign);
+                assert_eq!(got, expected, "x={xv} z={zv}");
+            }
+        }
+        let _ = z;
+    }
+
+    #[test]
+    fn stride_on_v_is_handled() {
+        // ∃y: 2 | y ∧ x ≤ y ≤ x + 1  ⇔  true for every x (one of two
+        // consecutive integers is even)
+        let mut space = Space::new();
+        let x = space.var("x");
+        let y = space.var("y");
+        let mut c = Conjunct::new();
+        c.add_stride(Int::from(2), Affine::var(y));
+        c.add_geq(Affine::from_terms(&[(y, 1), (x, -1)], 0));
+        c.add_geq(Affine::from_terms(&[(y, -1), (x, 1)], 1));
+        let r = eliminate(&c, y, &mut space, Shadow::ExactOverlapping);
+        assert!(r.exact);
+        for xv in -10i64..=10 {
+            let got = r
+                .clauses
+                .iter()
+                .any(|cl| cl.contains_point(&space, &|_| Int::from(xv)));
+            assert!(got, "x={xv}");
+        }
+    }
+
+    #[test]
+    fn equality_elimination_is_preferred() {
+        // ∃y: 3y = x ∧ 0 ≤ y ≤ 5  ⇒  3 | x ∧ 0 ≤ x ≤ 15
+        let mut space = Space::new();
+        let x = space.var("x");
+        let y = space.var("y");
+        let mut c = Conjunct::new();
+        c.add_eq(Affine::from_terms(&[(y, 3), (x, -1)], 0));
+        c.add_geq(Affine::var(y));
+        c.add_geq(Affine::from_terms(&[(y, -1)], 5));
+        let r = eliminate(&c, y, &mut space, Shadow::ExactOverlapping);
+        assert!(r.exact);
+        assert_eq!(r.clauses.len(), 1);
+        for xv in -3i64..=18 {
+            let expected = xv % 3 == 0 && (0..=15).contains(&xv);
+            let got = r.clauses[0].contains_point(&space, &|_| Int::from(xv));
+            assert_eq!(got, expected, "x={xv}");
+        }
+    }
+
+    #[test]
+    fn unbounded_side_drops_constraints() {
+        let mut space = Space::new();
+        let x = space.var("x");
+        let y = space.var("y");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(y, 2), (x, -1)], 0)); // 2y >= x, no upper
+        c.add_geq(Affine::var(x)); // x >= 0
+        let r = eliminate(&c, y, &mut space, Shadow::ExactOverlapping);
+        assert!(r.exact);
+        assert_eq!(r.clauses.len(), 1);
+        assert_eq!(r.clauses[0].geqs().len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Complete integer feasibility test (§2.2).
+//!
+//! Treats every variable of the conjunct as existentially quantified
+//! and eliminates them one by one. Equalities are eliminated exactly;
+//! inequalities go through the dark shadow first (if the dark shadow is
+//! feasible, so is the original problem) and fall back to the exact
+//! splinters only when needed.
+
+use crate::conjunct::Conjunct;
+use crate::eliminate::{eliminate, Shadow};
+use crate::space::{Space, VarId};
+
+/// Decides whether the conjunct has an integer solution (over **all**
+/// its variables, wildcards and free variables alike).
+///
+/// ```
+/// use presburger_omega::{Affine, Conjunct, Space};
+/// use presburger_omega::feasible::is_feasible;
+///
+/// let mut s = Space::new();
+/// let x = s.var("x");
+/// let mut c = Conjunct::new();
+/// c.add_geq(Affine::from_terms(&[(x, 2)], -3)); // 2x >= 3
+/// c.add_geq(Affine::from_terms(&[(x, -2)], 4)); // 2x <= 4
+/// assert!(is_feasible(&c, &mut s)); // x = 2
+/// ```
+pub fn is_feasible(c: &Conjunct, space: &mut Space) -> bool {
+    let mut work: Vec<Conjunct> = vec![c.clone()];
+    let mut fuel: usize = 200_000;
+    while let Some(mut c) = work.pop() {
+        fuel = fuel.saturating_sub(1);
+        assert!(fuel > 0, "feasibility test exhausted its work budget");
+        c.normalize();
+        if c.is_false() {
+            continue;
+        }
+        let vars: Vec<VarId> = c.mentioned_vars().into_iter().collect();
+        if vars.is_empty() {
+            // normalization already verified all constant constraints
+            return true;
+        }
+        let v = pick_variable(&c, &vars);
+        let r = eliminate(&c, v, space, Shadow::ExactOverlapping);
+        // Check cheap clauses first: the dark shadow (or the single
+        // exact clause) is pushed last so it is popped first.
+        for cl in r.clauses.into_iter().rev() {
+            work.push(cl);
+        }
+    }
+    false
+}
+
+/// Chooses the cheapest variable to eliminate: prefer one constrained
+/// by an equality; otherwise minimize the number of lower×upper bound
+/// pairs, preferring exact (unit-coefficient) eliminations.
+fn pick_variable(c: &Conjunct, vars: &[VarId]) -> VarId {
+    for v in vars {
+        if c.eqs().iter().any(|e| e.mentions(*v)) {
+            return *v;
+        }
+    }
+    let mut best: Option<(VarId, u64)> = None;
+    for v in vars {
+        let (lowers, uppers, _) = c.bounds_on(*v);
+        let in_stride = c.strides().iter().any(|(_, e)| e.mentions(*v));
+        let exact = lowers.iter().all(|l| l.coeff.is_one())
+            || uppers.iter().all(|u| u.coeff.is_one());
+        let pairs = (lowers.len() * uppers.len()) as u64;
+        // crude cost model: exact eliminations are much cheaper;
+        // strides force a conversion first.
+        let cost = pairs * if exact { 1 } else { 100 } + if in_stride { 1000 } else { 0 };
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((*v, cost));
+        }
+    }
+    best.expect("no variable to pick").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use presburger_arith::Int;
+
+    /// (terms, constant, is_eq)
+    type Spec = (Vec<(VarId, i64)>, i64, bool);
+
+    fn brute(cs: &[Spec], vars: &[VarId], lo: i64, hi: i64) -> bool {
+        fn rec(
+            cs: &[Spec],
+            vars: &[VarId],
+            assign: &mut Vec<(VarId, i64)>,
+            lo: i64,
+            hi: i64,
+        ) -> bool {
+            if let Some((&v, rest)) = vars.split_first() {
+                for val in lo..=hi {
+                    assign.push((v, val));
+                    if rec(cs, rest, assign, lo, hi) {
+                        return true;
+                    }
+                    assign.pop();
+                }
+                false
+            } else {
+                cs.iter().all(|(terms, k, is_eq)| {
+                    let s: i64 = terms
+                        .iter()
+                        .map(|(v, c)| c * assign.iter().find(|(a, _)| a == v).unwrap().1)
+                        .sum::<i64>()
+                        + k;
+                    if *is_eq {
+                        s == 0
+                    } else {
+                        s >= 0
+                    }
+                })
+            }
+        }
+        rec(cs, vars, &mut Vec::new(), lo, hi)
+    }
+
+    #[test]
+    fn simple_box() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 1)], -5));
+        c.add_geq(Affine::from_terms(&[(x, -1)], 10));
+        assert!(is_feasible(&c, &mut s));
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 1)], -11));
+        c.add_geq(Affine::from_terms(&[(x, -1)], 10));
+        assert!(!is_feasible(&c, &mut s));
+    }
+
+    #[test]
+    fn gap_without_integer_point() {
+        // 3 <= 2x <= 3 has no integer solution
+        let mut s = Space::new();
+        let x = s.var("x");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 2)], -3));
+        c.add_geq(Affine::from_terms(&[(x, -2)], 3));
+        assert!(!is_feasible(&c, &mut s));
+    }
+
+    #[test]
+    fn dark_shadow_miss_found_by_splinter() {
+        // The classic: ∃x,y: 27 ≤ 11x + 13y ≤ 45 ∧ -10 ≤ 7x − 9y ≤ 4
+        // (Pugh's example of a problem whose dark shadow is empty but
+        // which has integer solutions... actually this one has none;
+        // assert the test agrees with brute force.)
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 11), (y, 13)], -27));
+        c.add_geq(Affine::from_terms(&[(x, -11), (y, -13)], 45));
+        c.add_geq(Affine::from_terms(&[(x, 7), (y, -9)], 10));
+        c.add_geq(Affine::from_terms(&[(x, -7), (y, 9)], 4));
+        let expected = brute(
+            &[
+                (vec![(x, 11), (y, 13)], -27, false),
+                (vec![(x, -11), (y, -13)], 45, false),
+                (vec![(x, 7), (y, -9)], 10, false),
+                (vec![(x, -7), (y, 9)], 4, false),
+            ],
+            &[x, y],
+            -50,
+            50,
+        );
+        assert_eq!(is_feasible(&c, &mut s), expected);
+    }
+
+    #[test]
+    fn equality_systems() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        // 6x + 9y = 21 solvable; 6x + 9y = 22 not
+        let mut c = Conjunct::new();
+        c.add_eq(Affine::from_terms(&[(x, 6), (y, 9)], -21));
+        assert!(is_feasible(&c, &mut s));
+        let mut c = Conjunct::new();
+        c.add_eq(Affine::from_terms(&[(x, 6), (y, 9)], -22));
+        assert!(!is_feasible(&c, &mut s));
+    }
+
+    #[test]
+    fn strides_interact_with_bounds() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        // 5 | x && 6 <= x <= 9  -> infeasible
+        let mut c = Conjunct::new();
+        c.add_stride(Int::from(5), Affine::var(x));
+        c.add_geq(Affine::from_terms(&[(x, 1)], -6));
+        c.add_geq(Affine::from_terms(&[(x, -1)], 9));
+        assert!(!is_feasible(&c, &mut s));
+        // 5 | x && 6 <= x <= 11  -> x = 10
+        let mut c = Conjunct::new();
+        c.add_stride(Int::from(5), Affine::var(x));
+        c.add_geq(Affine::from_terms(&[(x, 1)], -6));
+        c.add_geq(Affine::from_terms(&[(x, -1)], 11));
+        assert!(is_feasible(&c, &mut s));
+    }
+
+    #[test]
+    fn random_agreement_with_brute_force() {
+        // deterministic pseudo-random systems over 2 vars
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..60 {
+            let mut s = Space::new();
+            let x = s.var("x");
+            let y = s.var("y");
+            let mut c = Conjunct::new();
+            let mut spec = Vec::new();
+            let n = 2 + (rng() % 3) as usize;
+            for _ in 0..n {
+                let a = (rng() % 9) as i64 - 4;
+                let b = (rng() % 9) as i64 - 4;
+                let k = (rng() % 21) as i64 - 10;
+                let is_eq = rng() % 4 == 0;
+                if is_eq {
+                    c.add_eq(Affine::from_terms(&[(x, a), (y, b)], k));
+                } else {
+                    c.add_geq(Affine::from_terms(&[(x, a), (y, b)], k));
+                }
+                spec.push((vec![(x, a), (y, b)], k, is_eq));
+            }
+            // bound the search region so brute force is meaningful
+            c.add_geq(Affine::from_terms(&[(x, 1)], 12));
+            c.add_geq(Affine::from_terms(&[(x, -1)], 12));
+            c.add_geq(Affine::from_terms(&[(y, 1)], 12));
+            c.add_geq(Affine::from_terms(&[(y, -1)], 12));
+            spec.push((vec![(x, 1)], 12, false));
+            spec.push((vec![(x, -1)], 12, false));
+            spec.push((vec![(y, 1)], 12, false));
+            spec.push((vec![(y, -1)], 12, false));
+            let expected = brute(&spec, &[x, y], -12, 12);
+            assert_eq!(
+                is_feasible(&c, &mut s),
+                expected,
+                "trial {trial}: {}",
+                c.to_string(&s)
+            );
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Presburger formula AST (§2.6, §3).
+//!
+//! Formulas are built from linear atoms with the usual connectives and
+//! quantifiers. Nonlinear terms in the Presburger fragment — floors,
+//! ceilings, and remainders with *constant* divisors (§3.1) — are
+//! expressed through [`Desugar`], which introduces the existentially
+//! quantified auxiliary variables the paper describes.
+
+use crate::affine::Affine;
+use crate::space::{Space, VarId};
+use presburger_arith::Int;
+
+/// An atomic linear constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Constraint {
+    /// `e ≥ 0`.
+    Ge(Affine),
+    /// `e = 0`.
+    Eq(Affine),
+    /// `m | e` (stride, §3.2); `m ≥ 1`.
+    Stride(Int, Affine),
+}
+
+impl Constraint {
+    /// Evaluates the atom at a concrete point.
+    pub fn eval(&self, assign: &dyn Fn(VarId) -> Int) -> bool {
+        match self {
+            Constraint::Ge(e) => !e.eval(assign).is_negative(),
+            Constraint::Eq(e) => e.eval(assign).is_zero(),
+            Constraint::Stride(m, e) => m.divides(&e.eval(assign)),
+        }
+    }
+}
+
+/// A Presburger formula over interned variables.
+///
+/// ```
+/// use presburger_omega::{Affine, Formula, Space};
+///
+/// let mut s = Space::new();
+/// let x = s.var("x");
+/// // 1 <= x <= 10  ∧  2 | x
+/// let f = Formula::and(vec![
+///     Formula::le(Affine::constant(1), Affine::var(x)),
+///     Formula::le(Affine::var(x), Affine::constant(10)),
+///     Formula::stride(2, Affine::var(x)),
+/// ]);
+/// assert!(f.eval_quantifier_free(&|_| presburger_arith::Int::from(4)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// An atomic constraint.
+    Atom(Constraint),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<VarId>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<VarId>, Box<Formula>),
+}
+
+impl Formula {
+    /// The constraint `e ≥ 0`.
+    pub fn ge(e: Affine) -> Formula {
+        Formula::Atom(Constraint::Ge(e))
+    }
+
+    /// The constraint `lhs ≤ rhs`.
+    pub fn le(lhs: Affine, rhs: Affine) -> Formula {
+        Formula::ge(rhs - lhs)
+    }
+
+    /// The constraint `lhs < rhs` (over the integers, `lhs + 1 ≤ rhs`).
+    pub fn lt(lhs: Affine, rhs: Affine) -> Formula {
+        let mut e = rhs - lhs;
+        e.add_constant(&Int::from(-1));
+        Formula::ge(e)
+    }
+
+    /// The constraint `lhs = rhs`.
+    pub fn eq(lhs: Affine, rhs: Affine) -> Formula {
+        Formula::Atom(Constraint::Eq(lhs - rhs))
+    }
+
+    /// The constraint `e = 0`.
+    pub fn eq0(e: Affine) -> Formula {
+        Formula::Atom(Constraint::Eq(e))
+    }
+
+    /// The stride constraint `m | e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 0`.
+    pub fn stride(m: impl Into<Int>, e: Affine) -> Formula {
+        let m = m.into();
+        assert!(m.is_positive(), "stride modulus must be positive");
+        Formula::Atom(Constraint::Stride(m, e))
+    }
+
+    /// The bounds chain `lo ≤ v ≤ hi`.
+    pub fn between(lo: Affine, v: VarId, hi: Affine) -> Formula {
+        Formula::and(vec![
+            Formula::le(lo, Affine::var(v)),
+            Formula::le(Affine::var(v), hi),
+        ])
+    }
+
+    /// Conjunction (flattens nested `And`s and constant-folds).
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction (flattens nested `Or`s and constant-folds).
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation (removes double negations).
+    ///
+    /// An associated constructor, not `std::ops::Not` — it takes the
+    /// formula by value like the other connective builders.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Existential quantification over `vars`.
+    pub fn exists(vars: Vec<VarId>, f: Formula) -> Formula {
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Exists(vars, Box::new(f))
+        }
+    }
+
+    /// Universal quantification over `vars`.
+    pub fn forall(vars: Vec<VarId>, f: Formula) -> Formula {
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Forall(vars, Box::new(f))
+        }
+    }
+
+    /// The implication `p ⇒ q`.
+    pub fn implies(p: Formula, q: Formula) -> Formula {
+        Formula::or(vec![Formula::not(p), q])
+    }
+
+    /// Substitutes an affine expression for a variable throughout.
+    pub fn substitute(&self, v: VarId, replacement: &Affine) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(Constraint::Ge(e)) => {
+                Formula::Atom(Constraint::Ge(e.substitute(v, replacement)))
+            }
+            Formula::Atom(Constraint::Eq(e)) => {
+                Formula::Atom(Constraint::Eq(e.substitute(v, replacement)))
+            }
+            Formula::Atom(Constraint::Stride(m, e)) => {
+                Formula::Atom(Constraint::Stride(m.clone(), e.substitute(v, replacement)))
+            }
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.substitute(v, replacement)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.substitute(v, replacement)).collect())
+            }
+            Formula::Not(f) => Formula::Not(Box::new(f.substitute(v, replacement))),
+            Formula::Exists(vs, f) => {
+                if vs.contains(&v) {
+                    self.clone() // shadowed
+                } else {
+                    Formula::Exists(vs.clone(), Box::new(f.substitute(v, replacement)))
+                }
+            }
+            Formula::Forall(vs, f) => {
+                if vs.contains(&v) {
+                    self.clone()
+                } else {
+                    Formula::Forall(vs.clone(), Box::new(f.substitute(v, replacement)))
+                }
+            }
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<VarId> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(
+        &self,
+        bound: &mut Vec<VarId>,
+        out: &mut std::collections::BTreeSet<VarId>,
+    ) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(c) => {
+                let e = match c {
+                    Constraint::Ge(e) | Constraint::Eq(e) | Constraint::Stride(_, e) => e,
+                };
+                for v in e.vars() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let n = bound.len();
+                bound.extend(vs.iter().copied());
+                f.collect_free(bound, out);
+                bound.truncate(n);
+            }
+        }
+    }
+
+    /// Renders the formula with variable names from `space`.
+    pub fn to_string(&self, space: &Space) -> String {
+        match self {
+            Formula::True => "true".to_string(),
+            Formula::False => "false".to_string(),
+            Formula::Atom(Constraint::Ge(e)) => format!("{} >= 0", e.to_string(space)),
+            Formula::Atom(Constraint::Eq(e)) => format!("{} = 0", e.to_string(space)),
+            Formula::Atom(Constraint::Stride(m, e)) => {
+                format!("{} | {}", m, e.to_string(space))
+            }
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|f| f.to_string(space)).collect();
+                format!("({})", parts.join(" && "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|f| f.to_string(space)).collect();
+                format!("({})", parts.join(" || "))
+            }
+            Formula::Not(f) => format!("!{}", f.to_string(space)),
+            Formula::Exists(vs, f) => {
+                let names: Vec<&str> = vs.iter().map(|v| space.name(*v)).collect();
+                format!("(exists {} : {})", names.join(","), f.to_string(space))
+            }
+            Formula::Forall(vs, f) => {
+                let names: Vec<&str> = vs.iter().map(|v| space.name(*v)).collect();
+                format!("(forall {} : {})", names.join(","), f.to_string(space))
+            }
+        }
+    }
+
+    /// Evaluates a quantifier-free formula at a concrete point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula contains a quantifier.
+    pub fn eval_quantifier_free(&self, assign: &dyn Fn(VarId) -> Int) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(c) => c.eval(assign),
+            Formula::And(fs) => fs.iter().all(|f| f.eval_quantifier_free(assign)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval_quantifier_free(assign)),
+            Formula::Not(f) => !f.eval_quantifier_free(assign),
+            Formula::Exists(..) | Formula::Forall(..) => {
+                panic!("eval_quantifier_free called on a quantified formula")
+            }
+        }
+    }
+}
+
+/// Builder for formulas containing floors, ceilings and remainders with
+/// constant divisors (§3.1).
+///
+/// Each nonlinear term is replaced by a fresh auxiliary variable plus
+/// bounding constraints; [`Desugar::finish`] wraps the body in the
+/// corresponding existential quantifier.
+///
+/// ```
+/// use presburger_arith::Int;
+/// use presburger_omega::{Affine, Desugar, Formula, Space};
+///
+/// let mut s = Space::new();
+/// let x = s.var("x");
+/// let y = s.var("y");
+/// // x = floor(y / 3)
+/// let mut d = Desugar::new(&mut s);
+/// let fl = d.floor_div(Affine::var(y), 3);
+/// let f = d.finish(Formula::eq(Affine::var(x), fl));
+/// assert!(matches!(f, Formula::Exists(..)));
+/// ```
+#[derive(Debug)]
+pub struct Desugar<'a> {
+    space: &'a mut Space,
+    wildcards: Vec<VarId>,
+    constraints: Vec<Formula>,
+}
+
+impl<'a> Desugar<'a> {
+    /// Starts a desugaring session.
+    pub fn new(space: &'a mut Space) -> Desugar<'a> {
+        Desugar {
+            space,
+            wildcards: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Returns an affine expression equal to `⌊e / c⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn floor_div(&mut self, e: Affine, c: impl Into<Int>) -> Affine {
+        let c = c.into();
+        assert!(c.is_positive(), "divisor must be positive");
+        let alpha = self.space.fresh("fl");
+        self.wildcards.push(alpha);
+        // c·α ≤ e ≤ c·(α+1) − 1
+        let ca = Affine::zero().add_scaled(&Affine::var(alpha), &c);
+        self.constraints.push(Formula::le(ca.clone(), e.clone()));
+        let mut hi = ca;
+        hi.add_constant(&(&c - &Int::one()));
+        self.constraints.push(Formula::le(e, hi));
+        Affine::var(alpha)
+    }
+
+    /// Returns an affine expression equal to `⌈e / c⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn ceil_div(&mut self, e: Affine, c: impl Into<Int>) -> Affine {
+        let c = c.into();
+        assert!(c.is_positive(), "divisor must be positive");
+        let beta = self.space.fresh("cl");
+        self.wildcards.push(beta);
+        // c·(β−1) + 1 ≤ e ≤ c·β
+        let cb = Affine::zero().add_scaled(&Affine::var(beta), &c);
+        let mut lo = cb.clone();
+        lo.add_constant(&(&Int::one() - &c));
+        self.constraints.push(Formula::le(lo, e.clone()));
+        self.constraints.push(Formula::le(e, cb));
+        Affine::var(beta)
+    }
+
+    /// Returns an affine expression equal to `e mod c` (in `[0, c)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn modulo(&mut self, e: Affine, c: impl Into<Int>) -> Affine {
+        let c = c.into();
+        let q = self.floor_div(e.clone(), c.clone());
+        // e mod c = e − c·⌊e/c⌋
+        e.add_scaled(&q, &-c)
+    }
+
+    /// Wraps `body` with the accumulated auxiliary constraints and
+    /// existential quantifiers.
+    pub fn finish(self, body: Formula) -> Formula {
+        let mut parts = self.constraints;
+        parts.push(body);
+        Formula::exists(self.wildcards, Formula::and(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fold_constants() {
+        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
+        assert_eq!(Formula::and(vec![Formula::False, Formula::True]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::False]), Formula::False);
+        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+    }
+
+    #[test]
+    fn flattening() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let a = Formula::ge(Affine::var(x));
+        let f = Formula::and(vec![a.clone(), Formula::and(vec![a.clone(), a.clone()])]);
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_free_eval() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(1), x, Affine::constant(10)),
+            Formula::stride(3, Affine::var(x)),
+        ]);
+        let sat = |v: i64| f.eval_quantifier_free(&|_| Int::from(v));
+        assert!(sat(3) && sat(9));
+        assert!(!sat(4) && !sat(12));
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let f = Formula::exists(
+            vec![y],
+            Formula::eq(Affine::var(x), Affine::var(y)),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains(&x));
+        assert!(!fv.contains(&y));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let f = Formula::exists(vec![x], Formula::ge(Affine::var(x)));
+        assert_eq!(f.substitute(x, &Affine::constant(5)), f);
+    }
+
+    #[test]
+    fn display_round() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let f = Formula::exists(
+            vec![y],
+            Formula::and(vec![
+                Formula::eq(Affine::var(x), Affine::term(y, 2)),
+                Formula::stride(3, Affine::var(x)),
+            ]),
+        );
+        let txt = f.to_string(&s);
+        assert!(txt.contains("exists y"), "{txt}");
+        assert!(txt.contains("3 | x"), "{txt}");
+    }
+
+    #[test]
+    fn ceil_desugaring_semantics() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let mut d = Desugar::new(&mut s);
+        let cl = d.ceil_div(Affine::var(y), 4);
+        let f = d.finish(Formula::eq(Affine::var(x), cl));
+        let dnf = crate::dnf::simplify(&f, &mut s, &crate::dnf::SimplifyOptions::default());
+        for yv in -9i64..=9 {
+            for xv in -4i64..=4 {
+                let expected = xv == (yv as f64 / 4.0).ceil() as i64;
+                let got = dnf.contains_point(&s, &|v| {
+                    if v == x {
+                        Int::from(xv)
+                    } else {
+                        Int::from(yv)
+                    }
+                });
+                assert_eq!(got, expected, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_desugaring_semantics() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let mut d = Desugar::new(&mut s);
+        let fl = d.floor_div(Affine::var(y), 3);
+        let f = d.finish(Formula::eq(Affine::var(x), fl));
+        // check via DNF simplification + membership
+        let dnf = crate::dnf::simplify(&f, &mut s, &crate::dnf::SimplifyOptions::default());
+        for yv in -7i64..=7 {
+            for xv in -4i64..=4 {
+                let expected = xv == (yv as f64 / 3.0).floor() as i64;
+                let got = dnf.contains_point(&s, &|v| {
+                    if v == x {
+                        Int::from(xv)
+                    } else {
+                        Int::from(yv)
+                    }
+                });
+                assert_eq!(got, expected, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_desugaring_semantics() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let mut d = Desugar::new(&mut s);
+        let m = d.modulo(Affine::var(y), 4);
+        let f = d.finish(Formula::eq(Affine::var(x), m));
+        let dnf = crate::dnf::simplify(&f, &mut s, &crate::dnf::SimplifyOptions::default());
+        for yv in -9i64..=9 {
+            for xv in -1i64..=4 {
+                let expected = xv == yv.rem_euclid(4);
+                let got = dnf.contains_point(&s, &|v| {
+                    if v == x {
+                        Int::from(xv)
+                    } else {
+                        Int::from(yv)
+                    }
+                });
+                assert_eq!(got, expected, "x={xv} y={yv}");
+            }
+        }
+    }
+}

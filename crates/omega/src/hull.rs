@@ -1,0 +1,445 @@
+//! Summarizing a set of constant offsets with linear constraints
+//! (§5.1.1).
+//!
+//! When a loop touches `a[i+Δ]` for a small set of constant offsets Δ
+//! (a *uniformly generated set*), the paper summarizes the offsets as
+//! the integer points of their convex hull (plus stride constraints),
+//! then verifies exactness by counting. Both methods the paper
+//! describes are provided:
+//!
+//! * [`summarize_offsets`] — convex hull + stride detection + counting
+//!   check (method 2);
+//! * [`zero_one_encoding`] — the 0-1 programming formulation of
+//!   \[AI91\] (method 1), which leaves the simplification to the Omega
+//!   test and may fail to produce a convex summary.
+
+use crate::affine::Affine;
+use crate::conjunct::Conjunct;
+use crate::space::{Space, VarId};
+use presburger_arith::Int;
+
+/// The result of summarizing a set of offsets.
+#[derive(Clone, Debug)]
+pub struct OffsetSummary {
+    /// Constraints over the offset variables describing the summary
+    /// region (convex hull + strides).
+    pub conjunct: Conjunct,
+    /// Whether the summary is exact (contains exactly the given
+    /// points). A non-exact summary is a conservative superset.
+    pub exact: bool,
+    /// Number of integer points in the summary region.
+    pub point_count: u64,
+}
+
+/// Summarizes constant offset points (dimension ≤ 3) as convex hull
+/// constraints plus stride constraints over `vars` (§5.1.1 method 2).
+///
+/// # Panics
+///
+/// Panics if `points` is empty, dimensions are inconsistent with
+/// `vars`, or the dimension exceeds 3.
+pub fn summarize_offsets(points: &[Vec<i64>], vars: &[VarId]) -> OffsetSummary {
+    assert!(!points.is_empty(), "cannot summarize zero offsets");
+    let d = vars.len();
+    assert!((1..=3).contains(&d), "offset summarization supports 1-3 dims");
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "offset dimension mismatch"
+    );
+    let mut uniq: Vec<Vec<i64>> = points.to_vec();
+    uniq.sort();
+    uniq.dedup();
+
+    let mut c = Conjunct::new();
+    // bounding box (always sound; exact for rank-deficient sets)
+    for j in 0..d {
+        let lo = uniq.iter().map(|p| p[j]).min().unwrap();
+        let hi = uniq.iter().map(|p| p[j]).max().unwrap();
+        c.add_geq(Affine::from_terms(&[(vars[j], 1)], -lo));
+        c.add_geq(Affine::from_terms(&[(vars[j], -1)], hi));
+    }
+    // affine-hull equalities from the kernel of the difference matrix
+    let p0 = &uniq[0];
+    if uniq.len() > 1 {
+        let rows = uniq.len() - 1;
+        let mut m = presburger_arith::Matrix::zero(rows, d);
+        for (i, p) in uniq.iter().skip(1).enumerate() {
+            for j in 0..d {
+                m[(i, j)] = Int::from(p[j] - p0[j]);
+            }
+        }
+        if let Some(sol) =
+            presburger_arith::smith::solve_diophantine(&m, &vec![Int::zero(); rows])
+        {
+            // kernel vectors u of the difference matrix: u ⊥ every edge
+            for k in 0..sol.basis.cols() {
+                let u = sol.basis.col(k);
+                let mut e = Affine::zero();
+                let mut rhs = Int::zero();
+                for j in 0..d {
+                    e.set_coeff(vars[j], u[j].clone());
+                    rhs += &(&u[j] * &Int::from(p0[j]));
+                }
+                e.add_constant(&-rhs);
+                c.add_eq(e);
+            }
+        }
+    } else {
+        // single point: pin every coordinate
+        for j in 0..d {
+            c.add_eq(Affine::from_terms(&[(vars[j], 1)], -p0[j]));
+        }
+    }
+    // facets: hyperplanes through d-subsets of points
+    add_facets(&mut c, &uniq, vars);
+    // stride detection: per coordinate and per coordinate difference
+    add_strides(&mut c, &uniq, vars);
+    c.normalize();
+
+    // exactness check by counting (§5.1.1): enumerate the bounding box
+    let count = count_box_points(&c, &uniq, vars);
+    OffsetSummary {
+        conjunct: c,
+        exact: count == uniq.len() as u64,
+        point_count: count,
+    }
+}
+
+fn add_facets(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId]) {
+    let d = vars.len();
+    let n = points.len();
+    match d {
+        1 => {} // bounding box already is the hull
+        2 => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (p, q) = (&points[i], &points[j]);
+                    let dir = [q[0] - p[0], q[1] - p[1]];
+                    if dir == [0, 0] {
+                        continue;
+                    }
+                    // normal to the segment
+                    let nvec = [dir[1], -dir[0]];
+                    push_halfspace(c, points, vars, &nvec, p);
+                }
+            }
+        }
+        3 => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    for k in j + 1..n {
+                        let (p, q, r) = (&points[i], &points[j], &points[k]);
+                        let u = [q[0] - p[0], q[1] - p[1], q[2] - p[2]];
+                        let v = [r[0] - p[0], r[1] - p[1], r[2] - p[2]];
+                        let nvec = [
+                            u[1] * v[2] - u[2] * v[1],
+                            u[2] * v[0] - u[0] * v[2],
+                            u[0] * v[1] - u[1] * v[0],
+                        ];
+                        if nvec == [0, 0, 0] {
+                            continue;
+                        }
+                        push_halfspace(c, points, vars, &nvec, p);
+                    }
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// If all points lie on one side of the hyperplane `n·x = n·p`, adds
+/// the corresponding halfspace constraint.
+fn push_halfspace(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId], nvec: &[i64], p: &[i64]) {
+    let b: i64 = nvec.iter().zip(p).map(|(a, x)| a * x).sum();
+    let side = |pt: &Vec<i64>| -> i64 { nvec.iter().zip(pt).map(|(a, x)| a * x).sum::<i64>() - b };
+    let all_le = points.iter().all(|pt| side(pt) <= 0);
+    let all_ge = points.iter().all(|pt| side(pt) >= 0);
+    if all_le {
+        // n·x ≤ b  ⇒  b − n·x ≥ 0
+        let mut e = Affine::constant(b);
+        for (j, v) in vars.iter().enumerate() {
+            e.set_coeff(*v, Int::from(-nvec[j]));
+        }
+        c.add_geq(e);
+    }
+    if all_ge {
+        let mut e = Affine::constant(-b);
+        for (j, v) in vars.iter().enumerate() {
+            e.set_coeff(*v, Int::from(nvec[j]));
+        }
+        c.add_geq(e);
+    }
+}
+
+fn add_strides(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId]) {
+    let d = vars.len();
+    let p0 = &points[0];
+    fn gcd64(mut a: i64, mut b: i64) -> i64 {
+        a = a.abs();
+        b = b.abs();
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    // per coordinate
+    for j in 0..d {
+        let g = points
+            .iter()
+            .fold(0i64, |acc, p| gcd64(acc, p[j] - p0[j]));
+        if g >= 2 {
+            c.add_stride(
+                Int::from(g),
+                Affine::from_terms(&[(vars[j], 1)], -p0[j]),
+            );
+        }
+    }
+    // per coordinate difference (the paper's "difference of the first
+    // two coordinates always a multiple of three")
+    for j in 0..d {
+        for k in j + 1..d {
+            let base = p0[j] - p0[k];
+            let g = points
+                .iter()
+                .fold(0i64, |acc, p| gcd64(acc, (p[j] - p[k]) - base));
+            if g >= 2 {
+                c.add_stride(
+                    Int::from(g),
+                    Affine::from_terms(&[(vars[j], 1), (vars[k], -1)], -base),
+                );
+            }
+        }
+    }
+}
+
+/// Counts the integer points of the (bounded) summary region by
+/// enumerating its bounding box.
+fn count_box_points(c: &Conjunct, points: &[Vec<i64>], vars: &[VarId]) -> u64 {
+    let d = vars.len();
+    let lo: Vec<i64> = (0..d)
+        .map(|j| points.iter().map(|p| p[j]).min().unwrap())
+        .collect();
+    let hi: Vec<i64> = (0..d)
+        .map(|j| points.iter().map(|p| p[j]).max().unwrap())
+        .collect();
+    let mut count = 0u64;
+    let mut cur = lo.clone();
+    'outer: loop {
+        let sat = c.eqs().iter().all(|e| eval_at(e, vars, &cur).is_zero())
+            && c.geqs().iter().all(|e| !eval_at(e, vars, &cur).is_negative())
+            && c
+                .strides()
+                .iter()
+                .all(|(m, e)| m.divides(&eval_at(e, vars, &cur)));
+        if sat {
+            count += 1;
+        }
+        // advance odometer
+        for j in 0..d {
+            cur[j] += 1;
+            if cur[j] <= hi[j] {
+                continue 'outer;
+            }
+            cur[j] = lo[j];
+        }
+        break;
+    }
+    count
+}
+
+fn eval_at(e: &Affine, vars: &[VarId], values: &[i64]) -> Int {
+    e.eval(&|v| {
+        let idx = vars
+            .iter()
+            .position(|x| *x == v)
+            .expect("unexpected variable in offset summary");
+        Int::from(values[idx])
+    })
+}
+
+/// The 0-1 programming encoding of \[AI91\] (§5.1.1 method 1):
+/// `x = Σ zᵢ·pᵢ, Σ zᵢ = 1, 0 ≤ zᵢ ≤ 1` with existential `zᵢ`.
+///
+/// The caller may attempt to simplify the result with
+/// [`crate::dnf::project_wildcards`]; the paper reports this succeeds
+/// for 4- and 5-point stencils but not for a 9-point stencil.
+pub fn zero_one_encoding(points: &[Vec<i64>], vars: &[VarId], space: &mut Space) -> Conjunct {
+    assert!(!points.is_empty());
+    let d = vars.len();
+    let mut c = Conjunct::new();
+    let zs: Vec<VarId> = (0..points.len()).map(|_| space.fresh("z")).collect();
+    for z in &zs {
+        c.add_wildcard(*z);
+        c.add_geq(Affine::var(*z));
+        c.add_geq(Affine::from_terms(&[(*z, -1)], 1));
+    }
+    // Σ zᵢ = 1
+    let mut sum = Affine::constant(-1);
+    for z in &zs {
+        sum.set_coeff(*z, Int::one());
+    }
+    c.add_eq(sum);
+    // xⱼ = Σ zᵢ·pᵢⱼ
+    for j in 0..d {
+        let mut e = Affine::var(vars[j]);
+        for (i, z) in zs.iter().enumerate() {
+            e.set_coeff(*z, Int::from(-points[i][j]));
+        }
+        c.add_eq(e);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(space: &mut Space, d: usize) -> Vec<VarId> {
+        (0..d).map(|i| space.var(&format!("d{i}"))).collect()
+    }
+
+    #[test]
+    fn five_point_stencil_is_exact() {
+        // {(0,0), (-1,0), (1,0), (0,-1), (0,1)} — the SOR stencil (§5.1)
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let pts = vec![
+            vec![0, 0],
+            vec![-1, 0],
+            vec![1, 0],
+            vec![0, -1],
+            vec![0, 1],
+        ];
+        let sum = summarize_offsets(&pts, &v);
+        assert!(sum.exact, "5-point stencil must be exact: {:?}", sum);
+        assert_eq!(sum.point_count, 5);
+    }
+
+    #[test]
+    fn four_point_stencil_is_exact() {
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let pts = vec![vec![0, 0], vec![-1, 0], vec![0, -1], vec![1, 0]];
+        let sum = summarize_offsets(&pts, &v);
+        assert!(sum.exact);
+    }
+
+    #[test]
+    fn nine_point_stencil_is_exact_via_hull() {
+        // full 3x3 block: the hull is the box, exact
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let mut pts = Vec::new();
+        for a in -1..=1 {
+            for b in -1..=1 {
+                pts.push(vec![a, b]);
+            }
+        }
+        let sum = summarize_offsets(&pts, &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 9);
+    }
+
+    #[test]
+    fn strided_offsets() {
+        // {0, 3, 6}: hull is [0,6], strides make it exact
+        let mut s = Space::new();
+        let v = vars(&mut s, 1);
+        let sum = summarize_offsets(&[vec![0], vec![3], vec![6]], &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 3);
+        assert_eq!(sum.conjunct.strides().len(), 1);
+    }
+
+    #[test]
+    fn inexact_set_is_conservative() {
+        // {0, 1, 5}: hull [0,5] has 6 points, strides don't help
+        let mut s = Space::new();
+        let v = vars(&mut s, 1);
+        let sum = summarize_offsets(&[vec![0], vec![1], vec![5]], &v);
+        assert!(!sum.exact);
+        assert_eq!(sum.point_count, 6);
+    }
+
+    #[test]
+    fn collinear_diagonal_points() {
+        // {(0,0), (1,1), (2,2)}: affine hull equality x = y
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let sum = summarize_offsets(&[vec![0, 0], vec![1, 1], vec![2, 2]], &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 3);
+        assert!(!sum.conjunct.eqs().is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let sum = summarize_offsets(&[vec![3, -2]], &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 1);
+    }
+
+    #[test]
+    fn even_triangle_exact_via_strides() {
+        // {(0,0), (2,0), (0,2)}: the hull alone has 6 lattice points,
+        // but the detected strides 2|x and 2|y cut it to exactly 3.
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let sum = summarize_offsets(&[vec![0, 0], vec![2, 0], vec![0, 2]], &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 3);
+    }
+
+    #[test]
+    fn skew_triangle_is_inexact() {
+        // {(0,0), (2,1), (1,2)}: hull contains the extra point (1,1)
+        // and no stride separates it.
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let sum = summarize_offsets(&[vec![0, 0], vec![2, 1], vec![1, 2]], &v);
+        assert!(!sum.exact);
+        assert_eq!(sum.point_count, 4);
+    }
+
+    #[test]
+    fn three_dimensional_hull() {
+        // unit tetrahedron corners: 4 lattice points, exact
+        let mut s = Space::new();
+        let v = vars(&mut s, 3);
+        let pts = vec![
+            vec![0, 0, 0],
+            vec![1, 0, 0],
+            vec![0, 1, 0],
+            vec![0, 0, 1],
+        ];
+        let sum = summarize_offsets(&pts, &v);
+        assert!(sum.exact);
+        assert_eq!(sum.point_count, 4);
+    }
+
+    #[test]
+    fn zero_one_encoding_members() {
+        let mut s = Space::new();
+        let v = vars(&mut s, 2);
+        let pts = vec![vec![0, 0], vec![1, 0], vec![0, 1]];
+        let c = zero_one_encoding(&pts, &v, &mut s);
+        for xv in -1i64..=2 {
+            for yv in -1i64..=2 {
+                let expected = pts.contains(&vec![xv, yv]);
+                let got = c.contains_point(&s, &|var| {
+                    if var == v[0] {
+                        Int::from(xv)
+                    } else {
+                        Int::from(yv)
+                    }
+                });
+                assert_eq!(got, expected, "({xv},{yv})");
+            }
+        }
+    }
+}

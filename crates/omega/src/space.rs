@@ -1,0 +1,144 @@
+//! Variable interning.
+//!
+//! Every formula, constraint and polynomial in the workspace refers to
+//! variables through small integer [`VarId`]s interned in a [`Space`].
+//! The space records the human-readable name of each variable; *roles*
+//! (symbolic constant vs. counted variable vs. clause-local wildcard)
+//! are decided by the operations that consume the ids, not by the space.
+
+use std::fmt;
+
+/// Identifier of an interned variable. Ordered by creation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw index of this variable within its [`Space`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An interner mapping variable names to [`VarId`]s.
+///
+/// ```
+/// use presburger_omega::Space;
+///
+/// let mut space = Space::new();
+/// let n = space.var("n");
+/// assert_eq!(space.var("n"), n);       // interning is idempotent
+/// assert_eq!(space.name(n), "n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Space {
+    names: Vec<String>,
+    fresh_counter: u32,
+}
+
+impl Space {
+    /// Creates an empty space.
+    pub fn new() -> Space {
+        Space::default()
+    }
+
+    /// Interns `name`, returning its id (existing or new).
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            VarId(i as u32)
+        } else {
+            self.names.push(name.to_string());
+            VarId((self.names.len() - 1) as u32)
+        }
+    }
+
+    /// Alias of [`Space::var`] that reads better when declaring symbolic
+    /// constants.
+    pub fn symbol(&mut self, name: &str) -> VarId {
+        self.var(name)
+    }
+
+    /// Looks up a variable by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Creates a fresh variable guaranteed not to collide with any
+    /// existing name. Used for wildcards introduced during elimination.
+    pub fn fresh(&mut self, hint: &str) -> VarId {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("{hint}${}", self.fresh_counter);
+            if self.lookup(&name).is_none() {
+                self.names.push(name);
+                return VarId((self.names.len() - 1) as u32);
+            }
+        }
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this space.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned variable ids.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len()).map(|i| VarId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut s = Space::new();
+        let a = s.var("a");
+        let b = s.var("b");
+        assert_ne!(a, b);
+        assert_eq!(s.var("a"), a);
+        assert_eq!(s.lookup("b"), Some(b));
+        assert_eq!(s.lookup("zz"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut s = Space::new();
+        s.var("w$1");
+        let f = s.fresh("w");
+        assert_ne!(s.name(f), "w$1");
+        let g = s.fresh("w");
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn iteration_order_is_creation_order() {
+        let mut s = Space::new();
+        let ids: Vec<VarId> = ["x", "y", "z"].iter().map(|n| s.var(n)).collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+    }
+}

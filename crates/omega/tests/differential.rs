@@ -1,0 +1,211 @@
+//! Differential tests of the Omega-test primitives against brute
+//! force, on randomized three-variable systems with strides and
+//! equalities.
+
+use presburger_arith::Int;
+use presburger_omega::dnf::project_wildcards;
+use presburger_omega::eliminate::Shadow;
+use presburger_omega::feasible::is_feasible;
+use presburger_omega::{Affine, Conjunct, Space, VarId};
+use proptest::prelude::*;
+
+const R: i64 = 7;
+
+fn brute_feasible(c: &Conjunct, vars: &[VarId]) -> bool {
+    fn sat(c: &Conjunct, vars: &[VarId], vals: &[i64]) -> bool {
+        let assign = |v: VarId| {
+            let idx = vars.iter().position(|x| *x == v).unwrap();
+            Int::from(vals[idx])
+        };
+        c.eqs().iter().all(|e| e.eval(&assign).is_zero())
+            && c.geqs().iter().all(|e| !e.eval(&assign).is_negative())
+            && c.strides().iter().all(|(m, e)| m.divides(&e.eval(&assign)))
+    }
+    let mut vals = vec![0i64; vars.len()];
+    fn rec(c: &Conjunct, vars: &[VarId], vals: &mut Vec<i64>, d: usize) -> bool {
+        if d == vars.len() {
+            return sat(c, vars, vals);
+        }
+        (-R..=R).any(|v| {
+            vals[d] = v;
+            rec(c, vars, vals, d + 1)
+        })
+    }
+    rec(c, vars, &mut vals, 0)
+}
+
+fn build(
+    s: &mut Space,
+    geqs: &[(i64, i64, i64, i64)],
+    eqs: &[(i64, i64, i64, i64)],
+    strides: &[(i64, i64, i64, i64, i64)],
+) -> (Conjunct, [VarId; 3]) {
+    let x = s.var("x");
+    let y = s.var("y");
+    let z = s.var("z");
+    let mut c = Conjunct::new();
+    for v in [x, y, z] {
+        c.add_geq(Affine::from_terms(&[(v, 1)], R));
+        c.add_geq(Affine::from_terms(&[(v, -1)], R));
+    }
+    for &(a, b, d, k) in geqs {
+        c.add_geq(Affine::from_terms(&[(x, a), (y, b), (z, d)], k));
+    }
+    for &(a, b, d, k) in eqs {
+        c.add_eq(Affine::from_terms(&[(x, a), (y, b), (z, d)], k));
+    }
+    for &(m, a, b, d, k) in strides {
+        if m >= 2 {
+            c.add_stride(
+                Int::from(m),
+                Affine::from_terms(&[(x, a), (y, b), (z, d)], k),
+            );
+        }
+    }
+    (c, [x, y, z])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The complete feasibility test agrees with brute force on
+    /// bounded systems with inequalities, equalities and strides.
+    #[test]
+    fn feasibility_matches_brute_force(
+        geqs in proptest::collection::vec((-4i64..=4, -4i64..=4, -4i64..=4, -9i64..=9), 0..4),
+        eqs in proptest::collection::vec((-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6), 0..2),
+        strides in proptest::collection::vec((2i64..=4, -2i64..=2, -2i64..=2, -2i64..=2, -3i64..=3), 0..2),
+    ) {
+        let mut s = Space::new();
+        let (c, vars) = build(&mut s, &geqs, &eqs, &strides);
+        let expected = brute_feasible(&c, &vars);
+        prop_assert_eq!(is_feasible(&c, &mut s), expected, "{}", c.to_string(&s));
+    }
+
+    /// Projecting away one existential variable is exact, in both
+    /// splintering modes, including through strides and equalities.
+    #[test]
+    fn wildcard_projection_is_exact(
+        geqs in proptest::collection::vec((-3i64..=3, -3i64..=3, -3i64..=3, -9i64..=9), 1..4),
+        eqs in proptest::collection::vec((-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6), 0..2),
+        strides in proptest::collection::vec((2i64..=3, -2i64..=2, -2i64..=2, -2i64..=2, -3i64..=3), 0..2),
+        mode_pick in 0usize..2,
+    ) {
+        let mut s = Space::new();
+        let (mut c, [x, y, z]) = build(&mut s, &geqs, &eqs, &strides);
+        c.add_wildcard(z);
+        let mode = [Shadow::ExactOverlapping, Shadow::ExactDisjoint][mode_pick];
+        let parts = project_wildcards(&c, &mut s, mode);
+        for xv in -R..=R {
+            for yv in -R..=R {
+                let truth = (-R..=R).any(|zv| {
+                    let assign = |v: VarId| {
+                        if v == x {
+                            Int::from(xv)
+                        } else if v == y {
+                            Int::from(yv)
+                        } else {
+                            Int::from(zv)
+                        }
+                    };
+                    c.eqs().iter().all(|e| e.eval(&assign).is_zero())
+                        && c.geqs().iter().all(|e| !e.eval(&assign).is_negative())
+                        && c.strides().iter().all(|(m, e)| m.divides(&e.eval(&assign)))
+                });
+                let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
+                let hits = parts.iter().filter(|p| p.contains_point(&s, &assign)).count();
+                prop_assert_eq!(hits > 0, truth, "mode {:?} x={} y={}", mode, xv, yv);
+                if mode == Shadow::ExactDisjoint {
+                    prop_assert!(hits <= 1, "overlap at x={} y={}", xv, yv);
+                }
+            }
+        }
+    }
+}
+
+mod roundtrip {
+    use presburger_arith::Int;
+    use presburger_omega::dnf::formula_equivalent;
+    use presburger_omega::{parse_formula, Affine, Formula, Space};
+    use proptest::prelude::*;
+
+    /// Builds a random small formula over x, y, n.
+    fn random_formula(
+        s: &mut Space,
+        spec: &[(u8, i64, i64, i64, i64)],
+    ) -> Formula {
+        let x = s.var("x");
+        let y = s.var("y");
+        let n = s.var("n");
+        let mut parts = vec![
+            Formula::between(Affine::constant(-3), x, Affine::constant(6)),
+            Formula::between(Affine::constant(-3), y, Affine::constant(6)),
+        ];
+        for &(kind, a, b, c, k) in spec {
+            let e = Affine::from_terms(&[(x, a), (y, b), (n, c)], k);
+            parts.push(match kind % 4 {
+                0 => Formula::ge(e),
+                1 => Formula::eq0(e),
+                2 => Formula::not(Formula::ge(e)),
+                _ => Formula::stride(2 + i64::from(kind % 3), e),
+            });
+        }
+        Formula::and(parts)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// print → parse is the identity up to semantic equivalence.
+        #[test]
+        fn print_parse_roundtrip(
+            spec in proptest::collection::vec(
+                (any::<u8>(), -3i64..=3, -3i64..=3, -1i64..=1, -5i64..=5),
+                0..3,
+            )
+        ) {
+            let mut s = Space::new();
+            let f = random_formula(&mut s, &spec);
+            let text = f.to_string(&s);
+            let g = parse_formula(&text, &mut s)
+                .unwrap_or_else(|e| panic!("unparseable printout {text:?}: {e}"));
+            prop_assert!(
+                formula_equivalent(&f, &g, &mut s),
+                "round-trip changed meaning: {}",
+                text
+            );
+        }
+
+        /// quantified formulas also round-trip.
+        #[test]
+        fn quantified_roundtrip(m in 2i64..=4, lo in -2i64..=2, hi in 3i64..=6) {
+            let mut s = Space::new();
+            let x = s.var("x");
+            let w = s.var("w");
+            let f = Formula::and(vec![
+                Formula::between(Affine::constant(lo), x, Affine::constant(hi)),
+                Formula::exists(
+                    vec![w],
+                    Formula::and(vec![
+                        Formula::eq(Affine::var(x), Affine::term(w, m)),
+                        Formula::le(Affine::constant(0), Affine::var(w)),
+                    ]),
+                ),
+            ]);
+            let text = f.to_string(&s);
+            let g = parse_formula(&text, &mut s)
+                .unwrap_or_else(|e| panic!("unparseable printout {text:?}: {e}"));
+            for xv in -4i64..=8 {
+                let mut s1 = s.clone();
+                let d1 = presburger_omega::dnf::simplify(&f, &mut s1, &Default::default());
+                let mut s2 = s.clone();
+                let d2 = presburger_omega::dnf::simplify(&g, &mut s2, &Default::default());
+                prop_assert_eq!(
+                    d1.contains_point(&s1, &|_| Int::from(xv)),
+                    d2.contains_point(&s2, &|_| Int::from(xv)),
+                    "x={} text={}", xv, text
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Atoms: the "variables" a quasi-polynomial may mention.
+//!
+//! Beyond plain interned variables, the paper's symbolic answers for
+//! rational (floored) bounds contain terms like `n mod 3` (§4.2.1):
+//! `⌊U/u⌋` is rewritten as `(U − (U mod u))/u`. A [`Atom::Mod`] captures
+//! such a periodic term exactly; its value always lies in
+//! `[0, modulus)`.
+
+use presburger_arith::Int;
+use presburger_omega::{Affine, Space, VarId};
+
+/// A quasi-polynomial indeterminate.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// An interned variable (symbolic constant or summation variable).
+    Var(VarId),
+    /// `expr mod modulus`, with value in `[0, modulus)`.
+    Mod {
+        /// The affine expression being reduced.
+        expr: Affine,
+        /// The (positive) modulus.
+        modulus: Int,
+    },
+}
+
+impl Atom {
+    /// Creates a `expr mod modulus` atom.
+    ///
+    /// The expression is canonicalized by reducing every coefficient
+    /// and the constant into `[0, modulus)` — `(3j + 2n) mod 3` and
+    /// `(2n) mod 3` are the same atom, which both deduplicates atoms
+    /// and drops variables whose coefficient is a multiple of the
+    /// modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus <= 1`.
+    pub fn modulo(expr: Affine, modulus: Int) -> Atom {
+        assert!(
+            modulus > Int::one(),
+            "mod atom requires modulus >= 2 (got {modulus})"
+        );
+        let mut reduced = Affine::constant(expr.constant_term().rem_euclid(&modulus));
+        for (v, c) in expr.iter() {
+            reduced.set_coeff(v, c.rem_euclid(&modulus));
+        }
+        Atom::Mod {
+            expr: reduced,
+            modulus,
+        }
+    }
+
+    /// Evaluates the atom at a concrete point.
+    pub fn eval(&self, assign: &dyn Fn(VarId) -> Int) -> Int {
+        match self {
+            Atom::Var(v) => assign(*v),
+            Atom::Mod { expr, modulus } => expr.eval(assign).rem_euclid(modulus),
+        }
+    }
+
+    /// The variables mentioned by the atom.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Atom::Var(v) => vec![*v],
+            Atom::Mod { expr, .. } => expr.vars().collect(),
+        }
+    }
+
+    /// Returns `true` if the atom mentions `v`.
+    pub fn mentions(&self, v: VarId) -> bool {
+        match self {
+            Atom::Var(w) => *w == v,
+            Atom::Mod { expr, .. } => expr.mentions(v),
+        }
+    }
+
+    /// Renders the atom with names from `space`.
+    pub fn to_string(&self, space: &Space) -> String {
+        match self {
+            Atom::Var(v) => space.name(*v).to_string(),
+            Atom::Mod { expr, modulus } => {
+                format!("(({}) mod {})", expr.to_string(space), modulus)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_atom_eval_is_euclidean() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let a = Atom::modulo(Affine::var(n), Int::from(3));
+        for nv in -7i64..=7 {
+            let r = a.eval(&|_| Int::from(nv));
+            assert_eq!(r, Int::from(nv.rem_euclid(3)), "n={nv}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus >= 2")]
+    fn mod_atom_rejects_unit_modulus() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let _ = Atom::modulo(Affine::var(n), Int::one());
+    }
+
+    #[test]
+    fn display() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        assert_eq!(Atom::Var(n).to_string(&s), "n");
+        assert_eq!(
+            Atom::modulo(Affine::var(n), Int::from(2)).to_string(&s),
+            "((n) mod 2)"
+        );
+    }
+}

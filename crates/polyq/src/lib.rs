@@ -1,0 +1,40 @@
+//! Quasi-polynomials and guarded symbolic values for the `presburger`
+//! workspace.
+//!
+//! The answers of the paper's counting engine are *guarded
+//! quasi-polynomials*: piecewise polynomials in the symbolic constants
+//! whose indeterminates may include periodic `mod` terms such as
+//! `n mod 3` (§4.2.1), guarded by linear conditions such as `1 ≤ n`
+//! (the paper's `(Σ : P : z)` notation).
+//!
+//! * [`Atom`] — a polynomial indeterminate: a variable or `e mod c`;
+//! * [`QPoly`] — multivariate quasi-polynomials over ℚ;
+//! * [`faulhaber`] — power-sum formulas `Σ iᵖ` (§4.1);
+//! * [`GuardedValue`] — formal sums of guarded pieces.
+//!
+//! # Example
+//!
+//! ```
+//! use presburger_arith::{Int, Rat};
+//! use presburger_omega::Space;
+//! use presburger_polyq::faulhaber::power_sum;
+//!
+//! let mut s = Space::new();
+//! let n = s.var("n");
+//! // Σ_{i=1}^{n} i²  =  n(n+1)(2n+1)/6
+//! let f = power_sum(2, n);
+//! assert_eq!(f.eval(&|_| Int::from(100)), Rat::from(338350));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+pub mod faulhaber;
+pub mod mexpr;
+mod qpoly;
+mod value;
+
+pub use atom::Atom;
+pub use qpoly::QPoly;
+pub use value::{GuardedValue, Piece};

@@ -1,0 +1,637 @@
+//! Multivariate quasi-polynomials over ℚ.
+//!
+//! A [`QPoly`] is a polynomial whose indeterminates are [`Atom`]s —
+//! plain variables or periodic `mod` terms — with rational
+//! coefficients. This is the closure of the answers the paper's
+//! summation engine produces: counting a box gives a polynomial,
+//! rational bounds introduce `mod` atoms (§4.2.1), and repeated
+//! summation keeps the representation closed.
+
+use crate::atom::Atom;
+use presburger_arith::{Int, Rat};
+use presburger_omega::{Affine, Space, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A monomial: atoms with positive exponents, sorted.
+pub(crate) type Monomial = BTreeMap<Atom, u32>;
+
+/// A multivariate quasi-polynomial with rational coefficients.
+///
+/// ```
+/// use presburger_arith::{Int, Rat};
+/// use presburger_polyq::QPoly;
+/// use presburger_omega::Space;
+///
+/// let mut s = Space::new();
+/// let n = s.var("n");
+/// // n·(n+1)/2
+/// let p = (QPoly::var(n) * (QPoly::var(n) + QPoly::constant(Rat::from(1))))
+///     .scale(&Rat::new(Int::from(1), Int::from(2)));
+/// assert_eq!(p.eval_int(&|_| Int::from(10)).unwrap(), Int::from(55));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct QPoly {
+    /// Map monomial → coefficient; zero coefficients are never stored.
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl QPoly {
+    /// The zero polynomial.
+    pub fn zero() -> QPoly {
+        QPoly::default()
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> QPoly {
+        QPoly::constant(Rat::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rat) -> QPoly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::new(), c);
+        }
+        QPoly { terms }
+    }
+
+    /// The polynomial consisting of the single variable `v`.
+    pub fn var(v: VarId) -> QPoly {
+        QPoly::atom(Atom::Var(v))
+    }
+
+    /// The polynomial consisting of a single atom.
+    pub fn atom(a: Atom) -> QPoly {
+        let mut m = Monomial::new();
+        m.insert(a, 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(m, Rat::one());
+        QPoly { terms }
+    }
+
+    /// Converts an affine expression into a (linear) polynomial.
+    pub fn from_affine(e: &Affine) -> QPoly {
+        let mut p = QPoly::constant(Rat::from(e.constant_term().clone()));
+        for (v, c) in e.iter() {
+            p = p + QPoly::var(v).scale(&Rat::from(c.clone()));
+        }
+        p
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the constant value if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<Rat> {
+        match self.terms.len() {
+            0 => Some(Rat::zero()),
+            1 => {
+                let (m, c) = self.terms.iter().next().unwrap();
+                if m.is_empty() {
+                    Some(c.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiplies every coefficient by `k`.
+    pub fn scale(&self, k: &Rat) -> QPoly {
+        if k.is_zero() {
+            return QPoly::zero();
+        }
+        QPoly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), c * k))
+                .collect(),
+        }
+    }
+
+    /// The total degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.values().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The highest power of `v` (as a plain variable atom).
+    pub fn degree_in(&self, v: VarId) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.get(&Atom::Var(v)).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `v` occurs anywhere — as a variable atom or
+    /// inside a mod atom.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.terms
+            .keys()
+            .any(|m| m.keys().any(|a| a.mentions(v)))
+    }
+
+    /// All variables mentioned (including inside mod atoms).
+    pub fn vars(&self) -> std::collections::BTreeSet<VarId> {
+        let mut out = std::collections::BTreeSet::new();
+        for m in self.terms.keys() {
+            for a in m.keys() {
+                out.extend(a.vars());
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if any atom is a mod atom.
+    pub fn has_mod_atoms(&self) -> bool {
+        self.terms
+            .keys()
+            .any(|m| m.keys().any(|a| matches!(a, Atom::Mod { .. })))
+    }
+
+    /// The distinct `(expr, modulus)` pairs of all mod atoms.
+    pub fn mod_atoms(&self) -> Vec<(Affine, Int)> {
+        let mut out: Vec<(Affine, Int)> = Vec::new();
+        for m in self.terms.keys() {
+            for a in m.keys() {
+                if let Atom::Mod { expr, modulus } = a {
+                    if !out.iter().any(|(e, mm)| e == expr && mm == modulus) {
+                        out.push((expr.clone(), modulus.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Smart constructor for `expr mod m`: canonicalizes coefficients
+    /// and folds to a constant when no variable survives the reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 1`.
+    pub fn modulo(expr: &Affine, m: &Int) -> QPoly {
+        let atom = Atom::modulo(expr.clone(), m.clone());
+        match &atom {
+            Atom::Mod { expr: reduced, .. } if reduced.is_constant() => {
+                QPoly::constant(Rat::from(reduced.constant_term().rem_euclid(m)))
+            }
+            _ => QPoly::atom(atom),
+        }
+    }
+
+    /// Writes the polynomial as `Σ cₖ·vᵏ` in `v`: returns coefficients
+    /// indexed by the power of `v`. Requires that `v` not occur inside
+    /// mod atoms (§4.3 polynomial sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` occurs inside a mod atom.
+    pub fn coefficients_in(&self, v: VarId) -> Vec<QPoly> {
+        let deg = self.degree_in(v) as usize;
+        let mut out = vec![QPoly::zero(); deg + 1];
+        let av = Atom::Var(v);
+        for (m, c) in &self.terms {
+            for a in m.keys() {
+                if let Atom::Mod { expr, .. } = a {
+                    assert!(
+                        !expr.mentions(v),
+                        "cannot extract coefficients: variable occurs inside a mod atom"
+                    );
+                }
+            }
+            let k = m.get(&av).copied().unwrap_or(0) as usize;
+            let mut rest = m.clone();
+            rest.remove(&av);
+            let mut term = BTreeMap::new();
+            term.insert(rest, c.clone());
+            out[k] = std::mem::take(&mut out[k]) + QPoly { terms: term };
+        }
+        out
+    }
+
+    /// Substitutes a polynomial for the *variable atom* `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` occurs inside a mod atom (substitute into the
+    /// affine expression with [`QPoly::substitute_affine`] instead).
+    pub fn substitute(&self, v: VarId, replacement: &QPoly) -> QPoly {
+        let coeffs = self.coefficients_in(v);
+        let mut acc = QPoly::zero();
+        let mut power = QPoly::one();
+        for c in coeffs {
+            acc = acc + c * power.clone();
+            power = power * replacement.clone();
+        }
+        acc
+    }
+
+    /// Substitutes the rational affine expression `num/den` for `v`
+    /// everywhere, including inside mod atoms.
+    ///
+    /// The caller must guarantee that `num/den` is an integer wherever
+    /// the polynomial is evaluated (in the counting engine this is
+    /// enforced by stride guards). Mod atoms are rewritten with the
+    /// identity `((c·num + den·S) mod (m·den))/den = (c·num/den + S) mod m`,
+    /// which holds exactly when `den` divides `c·num + den·S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den <= 0`.
+    pub fn substitute_rational(&self, v: VarId, num: &Affine, den: &Int) -> QPoly {
+        assert!(den.is_positive(), "denominator must be positive");
+        if den.is_one() {
+            return self.substitute_affine(v, num);
+        }
+        let inv = Rat::new(Int::one(), den.clone());
+        let mut out = QPoly::zero();
+        for (m, c) in &self.terms {
+            let mut factor = QPoly::constant(c.clone());
+            for (a, k) in m {
+                let base = match a {
+                    Atom::Var(w) if *w == v => QPoly::from_affine(num).scale(&inv),
+                    Atom::Var(w) => QPoly::var(*w),
+                    Atom::Mod { expr, modulus } => {
+                        let cv = expr.coeff(v);
+                        if cv.is_zero() {
+                            QPoly::atom(a.clone())
+                        } else {
+                            let mut s = expr.clone();
+                            s.set_coeff(v, Int::zero());
+                            // c·num + den·S  mod  m·den, then /den
+                            let mut e = Affine::zero().add_scaled(num, &cv);
+                            e = e.add_scaled(&s, den);
+                            QPoly::modulo(&e, &(modulus * den)).scale(&inv)
+                        }
+                    }
+                };
+                for _ in 0..*k {
+                    factor = factor * base.clone();
+                }
+            }
+            out = out + factor;
+        }
+        out
+    }
+
+    /// Substitutes an affine expression for `v` everywhere, including
+    /// inside mod atoms.
+    pub fn substitute_affine(&self, v: VarId, replacement: &Affine) -> QPoly {
+        // First rewrite mod atoms, then the variable atoms.
+        let mut rewritten = QPoly::zero();
+        for (m, c) in &self.terms {
+            let mut factor = QPoly::constant(c.clone());
+            for (a, k) in m {
+                let base = match a {
+                    Atom::Var(w) if *w == v => QPoly::from_affine(replacement),
+                    Atom::Var(w) => QPoly::var(*w),
+                    Atom::Mod { expr, modulus } => {
+                        let e2 = expr.substitute(v, replacement);
+                        QPoly::modulo(&e2, modulus)
+                    }
+                };
+                for _ in 0..*k {
+                    factor = factor * base.clone();
+                }
+            }
+            rewritten = rewritten + factor;
+        }
+        rewritten
+    }
+
+    /// Evaluates to an exact rational at a concrete point.
+    pub fn eval(&self, assign: &dyn Fn(VarId) -> Int) -> Rat {
+        let mut acc = Rat::zero();
+        for (m, c) in &self.terms {
+            let mut term = c.clone();
+            for (a, k) in m {
+                let val = Rat::from(a.eval(assign));
+                term = term * val.pow(*k);
+            }
+            acc += &term;
+        }
+        acc
+    }
+
+    /// Evaluates and requires an integer result.
+    ///
+    /// Returns `None` when the value is not integral (which indicates a
+    /// bug in a counting computation — counts are always integers).
+    pub fn eval_int(&self, assign: &dyn Fn(VarId) -> Int) -> Option<Int> {
+        self.eval(assign).to_int()
+    }
+
+    /// Renders the polynomial with names from `space`.
+    pub fn to_string(&self, space: &Space) -> String {
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        let mut parts = Vec::new();
+        for (m, c) in self.terms.iter().rev() {
+            let mut piece = String::new();
+            if m.is_empty() {
+                piece.push_str(&c.to_string());
+            } else {
+                if *c == -Rat::one() {
+                    piece.push('-');
+                } else if !c.is_one_rat() {
+                    piece.push_str(&format!("{c}·"));
+                }
+                let atoms: Vec<String> = m
+                    .iter()
+                    .map(|(a, k)| {
+                        if *k == 1 {
+                            a.to_string(space)
+                        } else {
+                            format!("{}^{}", a.to_string(space), k)
+                        }
+                    })
+                    .collect();
+                piece.push_str(&atoms.join("·"));
+            }
+            parts.push(piece);
+        }
+        let mut s = parts[0].clone();
+        for p in &parts[1..] {
+            if let Some(stripped) = p.strip_prefix('-') {
+                s.push_str(" - ");
+                s.push_str(stripped);
+            } else {
+                s.push_str(" + ");
+                s.push_str(p);
+            }
+        }
+        s
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: Rat) {
+        if c.is_zero() {
+            return;
+        }
+        match self.terms.entry(m) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = e.get() + &c;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+}
+
+/// Private helper so `to_string` can test for coefficient 1.
+trait IsOneRat {
+    fn is_one_rat(&self) -> bool;
+}
+impl IsOneRat for Rat {
+    fn is_one_rat(&self) -> bool {
+        *self == Rat::one()
+    }
+}
+
+impl Add for QPoly {
+    type Output = QPoly;
+    fn add(self, rhs: QPoly) -> QPoly {
+        let mut out = self;
+        for (m, c) in rhs.terms {
+            out.insert_term(m, c);
+        }
+        out
+    }
+}
+
+impl Sub for QPoly {
+    type Output = QPoly;
+    fn sub(self, rhs: QPoly) -> QPoly {
+        self + (-rhs)
+    }
+}
+
+impl Neg for QPoly {
+    type Output = QPoly;
+    fn neg(self) -> QPoly {
+        QPoly {
+            terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect(),
+        }
+    }
+}
+
+impl Mul for QPoly {
+    type Output = QPoly;
+    fn mul(self, rhs: QPoly) -> QPoly {
+        let mut out = QPoly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &rhs.terms {
+                let mut m = m1.clone();
+                for (a, k) in m2 {
+                    *m.entry(a.clone()).or_insert(0) += k;
+                }
+                out.insert_term(m, c1 * c2);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for QPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QPoly({} terms)", self.terms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Space, VarId, VarId) {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let m = s.var("m");
+        (s, n, m)
+    }
+
+    #[test]
+    fn ring_operations() {
+        let (_, n, m) = setup();
+        let p = QPoly::var(n) + QPoly::var(m);
+        let q = QPoly::var(n) - QPoly::var(m);
+        let prod = p.clone() * q.clone();
+        // (n+m)(n-m) = n² - m²
+        let eval = |poly: &QPoly, nv: i64, mv: i64| {
+            poly.eval(&|v| if v == n { Int::from(nv) } else { Int::from(mv) })
+        };
+        for nv in -3i64..=3 {
+            for mv in -3i64..=3 {
+                assert_eq!(eval(&prod, nv, mv), Rat::from(nv * nv - mv * mv));
+            }
+        }
+        assert!((p.clone() - p).is_zero());
+    }
+
+    #[test]
+    fn constant_detection() {
+        let (_, n, _) = setup();
+        assert_eq!(QPoly::zero().as_constant(), Some(Rat::zero()));
+        assert_eq!(QPoly::constant(Rat::from(7)).as_constant(), Some(Rat::from(7)));
+        assert_eq!(QPoly::var(n).as_constant(), None);
+    }
+
+    #[test]
+    fn coefficients_in_variable() {
+        let (_, n, m) = setup();
+        // n²·m + 2n + 3
+        let p = QPoly::var(n) * QPoly::var(n) * QPoly::var(m)
+            + QPoly::var(n).scale(&Rat::from(2))
+            + QPoly::constant(Rat::from(3));
+        let cs = p.coefficients_in(n);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].as_constant(), Some(Rat::from(3)));
+        assert_eq!(cs[1].as_constant(), Some(Rat::from(2)));
+        assert_eq!(cs[2], QPoly::var(m));
+    }
+
+    #[test]
+    fn substitution_roundtrip() {
+        let (_, n, m) = setup();
+        // p(n) = n² + n, substitute n := m - 1
+        let p = QPoly::var(n) * QPoly::var(n) + QPoly::var(n);
+        let r = p.substitute(n, &(QPoly::var(m) - QPoly::one()));
+        for mv in -4i64..=4 {
+            let direct = (mv - 1) * (mv - 1) + (mv - 1);
+            assert_eq!(r.eval(&|_| Int::from(mv)), Rat::from(direct));
+        }
+    }
+
+    #[test]
+    fn mod_atom_arithmetic() {
+        let (_, n, _) = setup();
+        // (n mod 2)² has the same value as n mod 2
+        let a = QPoly::atom(Atom::modulo(Affine::var(n), Int::from(2)));
+        let sq = a.clone() * a.clone();
+        for nv in -5i64..=5 {
+            assert_eq!(sq.eval(&|_| Int::from(nv)), a.eval(&|_| Int::from(nv)));
+        }
+        assert!(a.has_mod_atoms());
+    }
+
+    #[test]
+    fn substitute_affine_rewrites_mod_atoms() {
+        let (_, n, m) = setup();
+        // p = (n mod 3); substitute n := m + 1
+        let p = QPoly::atom(Atom::modulo(Affine::var(n), Int::from(3)));
+        let r = p.substitute_affine(n, &(Affine::var(m) + Affine::constant(1)));
+        for mv in -5i64..=5 {
+            assert_eq!(
+                r.eval(&|_| Int::from(mv)),
+                Rat::from((mv + 1).rem_euclid(3)),
+                "m={mv}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_int_detects_non_integral() {
+        let (_, n, _) = setup();
+        let half = QPoly::var(n).scale(&Rat::new(Int::one(), Int::from(2)));
+        assert_eq!(half.eval_int(&|_| Int::from(4)), Some(Int::from(2)));
+        assert_eq!(half.eval_int(&|_| Int::from(3)), None);
+    }
+
+    #[test]
+    fn display() {
+        let (s, n, _) = setup();
+        let p = QPoly::var(n) * QPoly::var(n) - QPoly::constant(Rat::from(1));
+        let txt = p.to_string(&s);
+        assert!(txt.contains("n^2"), "{txt}");
+        assert!(txt.contains("- 1"), "{txt}");
+    }
+
+    #[test]
+    fn modulo_smart_constructor_folds() {
+        let (_, n, _) = setup();
+        // (3n + 7) mod 3  reduces to a constant-free-of-n atom? no —
+        // 3n ≡ 0, so it folds to the constant 1
+        let p = QPoly::modulo(&Affine::from_terms(&[(n, 3)], 7), &Int::from(3));
+        assert_eq!(p.as_constant(), Some(Rat::from(1)));
+        // (2n + 7) mod 3 stays an atom but with reduced coefficients
+        let p = QPoly::modulo(&Affine::from_terms(&[(n, 2)], 7), &Int::from(3));
+        assert!(p.has_mod_atoms());
+        for nv in -6i64..=6 {
+            assert_eq!(
+                p.eval(&|_| Int::from(nv)),
+                Rat::from((2 * nv + 7).rem_euclid(3)),
+                "n={nv}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod_atom_canonicalization_dedups() {
+        let (_, n, _) = setup();
+        // (−n) mod 3 and (2n) mod 3 are the same atom after reduction
+        let a = QPoly::modulo(&Affine::from_terms(&[(n, -1)], 0), &Int::from(3));
+        let b = QPoly::modulo(&Affine::from_terms(&[(n, 2)], 0), &Int::from(3));
+        assert!((a.clone() - b).is_zero());
+        assert_eq!(a.mod_atoms().len(), 1);
+    }
+
+    proptest::proptest! {
+        /// substitute_rational agrees with direct evaluation whenever
+        /// the substituted value is integral.
+        #[test]
+        fn substitute_rational_pointwise(
+            cn in -4i64..=4, ck in -9i64..=9, den in 1i64..=4,
+            modulus in 2i64..=5, mc in -4i64..=4,
+            t in -8i64..=8,
+        ) {
+            let mut s = Space::new();
+            let n = s.var("n");
+            let v = s.var("v");
+            // z = v + (mc·v + n) mod modulus  +  v·((v) mod modulus)
+            let z = QPoly::var(v)
+                + QPoly::modulo(&Affine::from_terms(&[(v, mc), (n, 1)], 0), &Int::from(modulus))
+                + QPoly::var(v) * QPoly::modulo(&Affine::from_terms(&[(v, 1)], 0), &Int::from(modulus));
+            // v := (cn·n + ck·den)/den — integral whenever den | cn·n
+            let num = Affine::from_terms(&[(n, cn * den)], ck * den);
+            let r = z.substitute_rational(v, &num, &Int::from(den));
+            // value of v at concrete n
+            let nv = t;
+            let vv = cn * nv + ck; // = num/den exactly
+            let direct = z.eval(&|w| if w == v { Int::from(vv) } else { Int::from(nv) });
+            let subbed = r.eval(&|_| Int::from(nv));
+            proptest::prop_assert_eq!(direct, subbed, "n={} v={}", nv, vv);
+        }
+
+        /// Multiplication distributes over evaluation.
+        #[test]
+        fn eval_is_ring_homomorphism(
+            a0 in -5i64..=5, a1 in -5i64..=5,
+            b0 in -5i64..=5, b1 in -5i64..=5,
+            x in -6i64..=6,
+        ) {
+            let mut s = Space::new();
+            let n = s.var("n");
+            let p = QPoly::constant(Rat::from(a0)) + QPoly::var(n).scale(&Rat::from(a1));
+            let q = QPoly::constant(Rat::from(b0)) + QPoly::var(n).scale(&Rat::from(b1));
+            let ev = |poly: &QPoly| poly.eval(&|_| Int::from(x));
+            proptest::prop_assert_eq!(ev(&(p.clone() * q.clone())), ev(&p) * ev(&q));
+            proptest::prop_assert_eq!(ev(&(p.clone() + q.clone())), ev(&p) + ev(&q));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Guarded (piecewise) symbolic values — the paper's answer format.
+//!
+//! A result like `(Σ : 1 ≤ n : n²)` (§1) is a *guarded* quasi-
+//! polynomial: the value is `n²` when the guard holds and `0`
+//! otherwise. A [`GuardedValue`] is a formal **sum** of such pieces;
+//! pieces need not be disjoint (two overlapping pieces both contribute
+//! where they overlap), which makes addition trivial and matches the
+//! paper's use of `+` between guarded summations.
+
+use crate::qpoly::QPoly;
+use presburger_arith::{Int, Rat};
+use presburger_omega::{Conjunct, Space, VarId};
+
+/// One guarded term: contributes `value` where `guard` holds.
+#[derive(Clone, Debug)]
+pub struct Piece {
+    /// The guard over the symbolic constants (wildcard-free up to
+    /// stride constraints).
+    pub guard: Conjunct,
+    /// The quasi-polynomial contributed where the guard holds.
+    pub value: QPoly,
+}
+
+/// A formal sum of guarded quasi-polynomials.
+///
+/// ```
+/// use presburger_arith::{Int, Rat};
+/// use presburger_omega::{Affine, Conjunct, Space};
+/// use presburger_polyq::{GuardedValue, QPoly};
+///
+/// let mut s = Space::new();
+/// let n = s.var("n");
+/// // (Σ : 1 ≤ n : n)
+/// let mut g = Conjunct::new();
+/// g.add_geq(Affine::from_terms(&[(n, 1)], -1));
+/// let v = GuardedValue::piece(g, QPoly::var(n));
+/// assert_eq!(v.eval(&s, &|_| Int::from(7)), Rat::from(7));
+/// assert_eq!(v.eval(&s, &|_| Int::from(0)), Rat::zero());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GuardedValue {
+    pieces: Vec<Piece>,
+}
+
+impl GuardedValue {
+    /// The zero value (no pieces).
+    pub fn zero() -> GuardedValue {
+        GuardedValue::default()
+    }
+
+    /// A single unguarded polynomial (guard = true).
+    pub fn unguarded(value: QPoly) -> GuardedValue {
+        GuardedValue::piece(Conjunct::new(), value)
+    }
+
+    /// A single guarded piece.
+    pub fn piece(guard: Conjunct, value: QPoly) -> GuardedValue {
+        let mut v = GuardedValue::zero();
+        v.push(guard, value);
+        v
+    }
+
+    /// Appends a piece (dropping syntactically false/zero pieces).
+    pub fn push(&mut self, guard: Conjunct, value: QPoly) {
+        if guard.is_false() || value.is_zero() {
+            return;
+        }
+        self.pieces.push(Piece { guard, value });
+    }
+
+    /// The pieces of this value.
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Returns `true` if there are no pieces (the value is identically 0).
+    pub fn is_zero(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Adds another guarded value (formal concatenation).
+    pub fn add(&mut self, other: GuardedValue) {
+        self.pieces.extend(other.pieces);
+    }
+
+    /// Multiplies every piece's polynomial by `k`.
+    pub fn scale(&self, k: &Rat) -> GuardedValue {
+        if k.is_zero() {
+            return GuardedValue::zero();
+        }
+        GuardedValue {
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| Piece {
+                    guard: p.guard.clone(),
+                    value: p.value.scale(k),
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every piece's guard (pieces whose new guard is
+    /// contradictory are dropped).
+    pub fn map_guards(&self, mut f: impl FnMut(&Conjunct) -> Conjunct) -> GuardedValue {
+        GuardedValue {
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| Piece {
+                    guard: f(&p.guard),
+                    value: p.value.clone(),
+                })
+                .filter(|p| !p.guard.is_false())
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every piece's polynomial.
+    pub fn map_values(&self, f: impl Fn(&QPoly) -> QPoly) -> GuardedValue {
+        GuardedValue {
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| Piece {
+                    guard: p.guard.clone(),
+                    value: f(&p.value),
+                })
+                .filter(|p| !p.value.is_zero())
+                .collect(),
+        }
+    }
+
+    /// Merges pieces with identical guards and drops empty pieces.
+    pub fn compact(&mut self) {
+        let mut out: Vec<Piece> = Vec::with_capacity(self.pieces.len());
+        for p in self.pieces.drain(..) {
+            if let Some(existing) = out.iter_mut().find(|q| q.guard == p.guard) {
+                existing.value = std::mem::take(&mut existing.value) + p.value;
+            } else {
+                out.push(p);
+            }
+        }
+        out.retain(|p| !p.value.is_zero() && !p.guard.is_false());
+        self.pieces = out;
+    }
+
+    /// Evaluates the value at a concrete assignment of the symbols.
+    pub fn eval(&self, space: &Space, assign: &dyn Fn(VarId) -> Int) -> Rat {
+        let mut acc = Rat::zero();
+        for p in &self.pieces {
+            if p.guard.contains_point(space, assign) {
+                acc += &p.value.eval(assign);
+            }
+        }
+        acc
+    }
+
+    /// Evaluates and requires an integral result.
+    pub fn eval_int(&self, space: &Space, assign: &dyn Fn(VarId) -> Int) -> Option<Int> {
+        self.eval(space, assign).to_int()
+    }
+
+    /// Convenience evaluation by variable *name*: unknown names panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mentioned variable is missing from `bindings`.
+    pub fn eval_named(&self, space: &Space, bindings: &[(&str, i64)]) -> Rat {
+        self.eval(space, &|v| {
+            let name = space.name(v);
+            let (_, val) = bindings
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("no binding for symbol {name}"));
+            Int::from(*val)
+        })
+    }
+
+    /// Like [`GuardedValue::eval_named`] but requiring an integer.
+    pub fn eval_i64(&self, space: &Space, bindings: &[(&str, i64)]) -> Option<i64> {
+        self.eval_named(space, bindings).to_int().and_then(|i| i.to_i64())
+    }
+
+    /// Renders the value in the paper's notation:
+    /// `(Σ : guard : poly) + …`.
+    pub fn to_string(&self, space: &Space) -> String {
+        if self.pieces.is_empty() {
+            return "0".to_string();
+        }
+        self.pieces
+            .iter()
+            .map(|p| {
+                if p.guard.is_trivially_true() {
+                    p.value.to_string(space)
+                } else {
+                    format!(
+                        "(Σ : {} : {})",
+                        p.guard.to_string(space),
+                        p.value.to_string(space)
+                    )
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_omega::Affine;
+
+    fn guard_ge(space: &mut Space, name: &str, k: i64) -> Conjunct {
+        let v = space.var(name);
+        let mut g = Conjunct::new();
+        g.add_geq(Affine::from_terms(&[(v, 1)], -k));
+        g
+    }
+
+    #[test]
+    fn pieces_are_additive() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let g1 = guard_ge(&mut s, "n", 1); // n >= 1
+        let g5 = guard_ge(&mut s, "n", 5); // n >= 5
+        let mut v = GuardedValue::piece(g1, QPoly::var(n));
+        v.add(GuardedValue::piece(g5, QPoly::one()));
+        // n=3: only first piece; n=7: both
+        assert_eq!(v.eval(&s, &|_| Int::from(3)), Rat::from(3));
+        assert_eq!(v.eval(&s, &|_| Int::from(7)), Rat::from(8));
+        assert_eq!(v.eval(&s, &|_| Int::from(0)), Rat::zero());
+    }
+
+    #[test]
+    fn compact_merges_equal_guards() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let g = guard_ge(&mut s, "n", 1);
+        let mut v = GuardedValue::piece(g.clone(), QPoly::var(n));
+        v.add(GuardedValue::piece(g, QPoly::var(n)));
+        assert_eq!(v.pieces().len(), 2);
+        v.compact();
+        assert_eq!(v.pieces().len(), 1);
+        assert_eq!(v.eval(&s, &|_| Int::from(4)), Rat::from(8));
+    }
+
+    #[test]
+    fn compact_drops_cancelled_pieces() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let g = guard_ge(&mut s, "n", 1);
+        let mut v = GuardedValue::piece(g.clone(), QPoly::var(n));
+        v.add(GuardedValue::piece(g, -QPoly::var(n)));
+        v.compact();
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn eval_named_and_display() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let g = guard_ge(&mut s, "n", 1);
+        let v = GuardedValue::piece(g, QPoly::var(n) * QPoly::var(n));
+        assert_eq!(v.eval_i64(&s, &[("n", 6)]), Some(36));
+        let txt = v.to_string(&s);
+        assert!(txt.contains("Σ"), "{txt}");
+        assert!(txt.contains("n^2"), "{txt}");
+    }
+
+    #[test]
+    fn strided_guard() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let mut g = Conjunct::new();
+        g.add_stride(Int::from(2), Affine::var(n));
+        let v = GuardedValue::piece(g, QPoly::one());
+        assert_eq!(v.eval(&s, &|_| Int::from(4)), Rat::from(1));
+        assert_eq!(v.eval(&s, &|_| Int::from(5)), Rat::zero());
+    }
+}

@@ -1,0 +1,97 @@
+//! A miniature "Omega calculator": type a Presburger formula, get the
+//! symbolic count of its solutions.
+//!
+//! ```text
+//! cargo run --example calculator -- "count {i, j : 1 <= i <= j <= n}"
+//! cargo run --example calculator            # runs the built-in demos
+//! ```
+//!
+//! Query syntax:  `count { v1, v2, … : formula }` — the listed
+//! variables are counted; every other name is a symbolic constant.
+
+use presburger::prelude::*;
+use presburger_counting::try_count_solutions;
+use presburger_omega::parse_formula;
+
+fn run_query(query: &str) -> Result<(), String> {
+    let query = query.trim();
+    let rest = query
+        .strip_prefix("count")
+        .ok_or("queries start with 'count'")?
+        .trim();
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("expected count { vars : formula }")?;
+    let (vars_text, formula_text) = inner
+        .split_once(':')
+        .ok_or("expected ':' between variables and formula")?;
+
+    let mut space = Space::new();
+    let vars: Vec<VarId> = vars_text
+        .split(',')
+        .map(|name| space.var(name.trim()))
+        .collect();
+    let f = parse_formula(formula_text, &mut space).map_err(|e| e.to_string())?;
+    let symbols: Vec<String> = f
+        .free_vars()
+        .into_iter()
+        .filter(|v| !vars.contains(v))
+        .map(|v| space.name(v).to_string())
+        .collect();
+
+    let count = try_count_solutions(&space, &f, &vars, &CountOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("> {query}");
+    println!("  = {}", count.to_display_string());
+    if !symbols.is_empty() {
+        // tabulate a few sample values of the first symbol
+        let name = &symbols[0];
+        let fixed: Vec<(&str, i64)> = symbols[1..].iter().map(|s| (s.as_str(), 10)).collect();
+        print!("  {name} =");
+        for v in [0i64, 1, 2, 5, 10, 100] {
+            let mut bindings = fixed.clone();
+            bindings.push((name.as_str(), v));
+            match count.eval_i64(&bindings) {
+                Some(c) => print!("  {v}→{c}"),
+                None => print!("  {v}→?"),
+            }
+        }
+        if symbols.len() > 1 {
+            print!("   (other symbols fixed at 10)");
+        }
+        println!();
+    }
+    println!();
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        [
+            // the paper's running examples, in calculator syntax
+            "count {i : 1 <= i <= 10}",
+            "count {i, j : 1 <= i <= j <= n}",
+            "count {i, j : 1 <= i && 1 <= j <= n && 2i <= 3j}",
+            "count {x : exists i, j : 1 <= i <= 8 && 1 <= j <= 5 && x = 6i + 9j - 7}",
+            "count {x : 0 <= x <= n && 3 | x + 1}",
+            "count {i, j : 1 <= i <= n && i <= j <= m}",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        vec![args.join(" ")]
+    };
+    let mut failed = false;
+    for q in &queries {
+        if let Err(e) = run_query(q) {
+            eprintln!("error in {q:?}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

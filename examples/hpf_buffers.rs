@@ -1,0 +1,52 @@
+//! HPF block-cyclic distribution analysis (§3.3): ownership counts and
+//! message-buffer sizing for a distributed template.
+//!
+//! ```text
+//! cargo run --example hpf_buffers
+//! ```
+
+use presburger_apps::BlockCyclic;
+use presburger_omega::{Affine, Space};
+
+fn main() {
+    // The paper's distribution: T(0:1024) block-cyclic over 8
+    // processors with blocks of 4.
+    let dist = BlockCyclic::new(8, 4);
+
+    let mut space = Space::new();
+    let p = space.var("p");
+    let owned =
+        dist.elements_on_processor(&space, Affine::constant(0), Affine::constant(1024), p);
+    println!("T(0:1024), 8 processors, block 4 — cells owned per processor:");
+    for pv in 0..8i64 {
+        println!("  p = {pv}: {}", owned.eval_i64(&[("p", pv)]).unwrap());
+    }
+
+    // Message-buffer sizing: a communication step sends a(0:n) to its
+    // owners; how large must each processor's receive buffer be, as a
+    // function of n?
+    let mut space = Space::new();
+    let n = space.symbol("n");
+    let p = space.var("p");
+    let buffer = dist.elements_on_processor(&space, Affine::constant(0), Affine::var(n), p);
+    println!(
+        "\nreceive-buffer size for a(0:n) (symbolic): {}",
+        buffer.to_display_string()
+    );
+    println!("\n  n      p=0   p=1   p=2   p=3   p=4   p=5   p=6   p=7");
+    for nv in [31i64, 63, 100, 1024] {
+        print!("  {nv:<6}");
+        for pv in 0..8i64 {
+            print!("{:<6}", buffer.eval_i64(&[("n", nv), ("p", pv)]).unwrap());
+        }
+        println!();
+    }
+
+    // sanity: buffers sum to the total number of cells
+    for nv in [31i64, 100] {
+        let total: i64 = (0..8)
+            .map(|pv| buffer.eval_i64(&[("n", nv), ("p", pv)]).unwrap())
+            .sum();
+        assert_eq!(total, nv + 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Load-balance analysis and balanced chunk scheduling (§1.1,
+//! [HP93a]): detect that a triangular loop is unbalanced and compute
+//! per-processor chunks carrying equal work.
+//!
+//! ```text
+//! cargo run --example load_balance
+//! ```
+
+use presburger_apps::{work_profile, ArrayRef, LoopNest};
+use presburger_omega::Affine;
+
+fn main() {
+    // forall i = 1..n  (parallel) { for j = i..n { body } }
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let _j = nest.add_loop("j", Affine::var(i), Affine::var(n));
+
+    let profile = work_profile(&nest, i);
+    println!(
+        "per-iteration work (symbolic in i, n): {}",
+        profile.per_iteration.to_display_string()
+    );
+    println!("balanced? {}", profile.is_balanced());
+    assert!(!profile.is_balanced());
+
+    let n_val = 1000i64;
+    let procs = 8u32;
+    let chunks = profile.balanced_chunks(1, n_val, procs, &[("n", n_val)]);
+    let total = profile.total.eval_i64(&[("n", n_val)]).unwrap();
+    println!("\nn = {n_val}, {procs} processors, total work = {total}");
+    println!("  proc   chunk            work");
+    for (p, &(s, e)) in chunks.iter().enumerate() {
+        let work: i64 = (s..=e)
+            .map(|iv| profile.work_at(iv, &[("n", n_val)]))
+            .sum();
+        println!("  {p:<6} {s:>5}..={e:<8} {work}");
+    }
+
+    // naive block scheduling for contrast: equal iteration counts
+    println!("\nnaive equal-iterations blocks for contrast:");
+    let block = n_val / procs as i64;
+    for p in 0..procs as i64 {
+        let s = 1 + p * block;
+        let e = if p == procs as i64 - 1 { n_val } else { s + block - 1 };
+        let work: i64 = (s..=e)
+            .map(|iv| profile.work_at(iv, &[("n", n_val)]))
+            .sum();
+        println!("  {p:<6} {s:>5}..={e:<8} {work}");
+    }
+
+    let _ = ArrayRef::new("unused", vec![]);
+}

@@ -1,0 +1,48 @@
+//! Quickstart: count the iterations of a triangular loop nest
+//! symbolically, and sum a polynomial over it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use presburger::prelude::*;
+use presburger_counting::sum_polynomial;
+
+fn main() {
+    // The loop nest   for i in 1..=n { for j in i..=n { body } }
+    let mut space = Space::new();
+    let n = space.symbol("n");
+    let i = space.var("i");
+    let j = space.var("j");
+
+    let iteration_space = Formula::and(vec![
+        Formula::le(Affine::constant(1), Affine::var(i)),
+        Formula::le(Affine::var(i), Affine::var(j)),
+        Formula::le(Affine::var(j), Affine::var(n)),
+    ]);
+
+    // How many iterations does the nest execute?  (Σ i,j : P : 1)
+    let count = count_solutions(&space, &iteration_space, &[i, j]);
+    println!("iteration count = {}", count.to_display_string());
+    for nv in [0i64, 1, 10, 100] {
+        println!("  n = {nv:>3}  →  {}", count.eval_i64(&[("n", nv)]).unwrap());
+    }
+
+    // If the body performs i + j flops, how many flops in total?
+    // (Σ i,j : P : i + j)
+    let flops = sum_polynomial(
+        &space,
+        &iteration_space,
+        &[i, j],
+        &(QPoly::var(i) + QPoly::var(j)),
+    );
+    println!("\ntotal flops     = {}", flops.to_display_string());
+    for nv in [1i64, 10, 100] {
+        println!("  n = {nv:>3}  →  {}", flops.eval_i64(&[("n", nv)]).unwrap());
+    }
+
+    // The answers are guarded: outside 1 ≤ n both sums are 0.
+    assert_eq!(count.eval_i64(&[("n", -7)]), Some(0));
+    assert_eq!(count.eval_i64(&[("n", 10)]), Some(55));
+    assert_eq!(flops.eval_i64(&[("n", 10)]), Some(605));
+}

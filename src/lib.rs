@@ -1,0 +1,50 @@
+//! Facade crate for the presburger-counting workspace.
+//!
+//! Re-exports the public API of every sub-crate so that downstream users
+//! (and the examples/integration tests in this repository) can depend on
+//! a single crate:
+//!
+//! * [`arith`] — exact integers, rationals, lattice linear algebra;
+//! * [`omega`] — the Omega test: simplification, projection, disjoint DNF;
+//! * [`polyq`] — quasi-polynomials and guarded piecewise values;
+//! * [`counting`] — symbolic counting and summation (the paper's core);
+//! * [`apps`] — compiler-analysis applications (loop nests, cache, HPF);
+//! * [`baselines`] — the algorithms the paper compares against.
+//!
+//! # Quickstart
+//!
+//! Count the iterations of the triangular loop
+//! `for i in 1..=n { for j in i..=n { ... } }` symbolically:
+//!
+//! ```
+//! use presburger::prelude::*;
+//!
+//! let mut space = Space::new();
+//! let n = space.symbol("n");
+//! let i = space.var("i");
+//! let j = space.var("j");
+//! let f = Formula::and(vec![
+//!     Formula::ge(Affine::var(i) - Affine::constant(1)),           // 1 <= i
+//!     Formula::ge(Affine::var(j) - Affine::var(i)),                // i <= j
+//!     Formula::ge(Affine::var(n) - Affine::var(j)),                // j <= n
+//! ]);
+//! let count = count_solutions(&space, &f, &[i, j]);
+//! // n*(n+1)/2 when n >= 1
+//! assert_eq!(count.eval_i64(&[("n", 10)]).unwrap(), 55);
+//! assert_eq!(count.eval_i64(&[("n", 0)]).unwrap(), 0);
+//! ```
+
+pub use presburger_apps as apps;
+pub use presburger_arith as arith;
+pub use presburger_baselines as baselines;
+pub use presburger_counting as counting;
+pub use presburger_omega as omega;
+pub use presburger_polyq as polyq;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use presburger_arith::{Int, Rat};
+    pub use presburger_counting::{count_solutions, sum_polynomial, CountOptions, Mode};
+    pub use presburger_omega::{Affine, Constraint, Formula, Space, VarId};
+    pub use presburger_polyq::{GuardedValue, QPoly};
+}

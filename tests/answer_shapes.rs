@@ -1,0 +1,120 @@
+//! Pins the *shape* of key symbolic answers — not just their values.
+//! The paper's contribution is producing readable closed forms; these
+//! tests fail if a change makes the engine start emitting needlessly
+//! fragmented or bloated answers.
+
+use presburger::prelude::*;
+use presburger_apps::{distinct_locations, ArrayRef, LoopNest};
+use presburger_arith::Rat;
+
+/// The triangle count must come out as a single clean piece.
+#[test]
+fn triangle_is_one_piece() {
+    let mut s = Space::new();
+    let n = s.symbol("n");
+    let i = s.var("i");
+    let j = s.var("j");
+    let f = Formula::and(vec![
+        Formula::le(Affine::constant(1), Affine::var(i)),
+        Formula::le(Affine::var(i), Affine::var(j)),
+        Formula::le(Affine::var(j), Affine::var(n)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    assert_eq!(c.num_pieces(), 1, "{}", c.to_display_string());
+    let txt = c.to_display_string();
+    assert!(txt.contains("n^2"), "{txt}");
+    assert!(!txt.contains("mod"), "no mod terms expected: {txt}");
+}
+
+/// SOR's symbolic footprint must compact to exactly one piece, N² − 4.
+#[test]
+fn sor_footprint_is_one_piece() {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("N");
+    let i = nest.add_loop(
+        "i",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let j = nest.add_loop(
+        "j",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let at = |di: i64, dj: i64| {
+        ArrayRef::new(
+            "a",
+            vec![
+                Affine::var(i) + Affine::constant(di),
+                Affine::var(j) + Affine::constant(dj),
+            ],
+        )
+    };
+    let refs = vec![at(0, 0), at(-1, 0), at(1, 0), at(0, -1), at(0, 1)];
+    let c = distinct_locations(&nest, &refs);
+    assert_eq!(c.num_pieces(), 1, "{}", c.to_display_string());
+    let txt = c.to_display_string();
+    assert!(txt.contains("N^2 - 4"), "{txt}");
+}
+
+/// Example 1 must stay at two pieces (the paper's headline comparison
+/// with Tawbi's three).
+#[test]
+fn example1_stays_two_pieces() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let k = s.var("k");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::constant(1), j, Affine::var(i)),
+        Formula::between(Affine::var(j), k, Affine::var(m)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j, k]);
+    assert_eq!(c.num_pieces(), 2, "{}", c.to_display_string());
+}
+
+/// Guards come out redundancy-free: the interval count's guard is the
+/// single constraint `n ≥ 1`.
+#[test]
+fn interval_guard_is_minimal() {
+    let mut s = Space::new();
+    let n = s.symbol("n");
+    let x = s.var("x");
+    let f = Formula::between(Affine::constant(1), x, Affine::var(n));
+    let c = count_solutions(&s, &f, &[x]);
+    assert_eq!(c.num_pieces(), 1);
+    let piece = &c.value.pieces()[0];
+    assert_eq!(
+        piece.guard.geqs().len() + piece.guard.eqs().len() + piece.guard.strides().len(),
+        1,
+        "guard should be exactly one constraint: {}",
+        piece.guard.to_string(&c.space)
+    );
+}
+
+/// Symbolic arithmetic: footprints of two arrays combine.
+#[test]
+fn symbolic_addition_and_scaling() {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let a = distinct_locations(&nest, &[ArrayRef::new("a", vec![Affine::var(i)])]);
+    let b = distinct_locations(
+        &nest,
+        &[ArrayRef::new("b", vec![Affine::term(i, 2)])],
+    );
+    let both = a.add(&b);
+    for nv in 0i64..=9 {
+        assert_eq!(
+            both.eval_i64(&[("n", nv)]),
+            Some(2 * nv.max(0)),
+            "n={nv}"
+        );
+    }
+    // 8 bytes per element
+    let bytes = both.scale(&Rat::from(8));
+    assert_eq!(bytes.eval_i64(&[("n", 10)]), Some(160));
+}

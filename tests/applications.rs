@@ -1,0 +1,171 @@
+//! End-to-end application scenarios (§1.1): execution-time estimation,
+//! flop counting, memory/cache analysis, load balance, and HPF
+//! communication — the "why" of the paper, exercised through the
+//! public API.
+
+use presburger_apps::{
+    distinct_cache_lines, distinct_locations, group_uniformly_generated, work_profile,
+    ArrayRef, BlockCyclic, LoopNest,
+};
+use presburger_omega::{Affine, Formula};
+use presburger_polyq::QPoly;
+
+/// Matrix-multiply: execution time and flops.
+#[test]
+fn matmul_iteration_and_flops() {
+    // for i = 1..n { for j = 1..n { for k = 1..n { c[i,j] += a[i,k]*b[k,j] } } }
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let _i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let _j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+    let _k = nest.add_loop("k", Affine::constant(1), Affine::var(n));
+    let iters = nest.iteration_count();
+    assert_eq!(iters.eval_i64(&[("n", 20)]), Some(8000));
+    // 2 flops per iteration
+    let flops = nest.sum(&QPoly::constant(presburger_arith::Rat::from(2)));
+    assert_eq!(flops.eval_i64(&[("n", 20)]), Some(16_000));
+}
+
+/// Computation/memory balance of matmul: n³ multiply-adds over 3n²
+/// matrix elements.
+#[test]
+fn matmul_memory_balance() {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+    let k = nest.add_loop("k", Affine::constant(1), Affine::var(n));
+    // locations of a touched: a[i,k]
+    let a_locs = distinct_locations(
+        &nest,
+        &[ArrayRef::new("a", vec![Affine::var(i), Affine::var(k)])],
+    );
+    // b[k,j]
+    let b_locs = distinct_locations(
+        &nest,
+        &[ArrayRef::new("b", vec![Affine::var(k), Affine::var(j)])],
+    );
+    for nv in [4i64, 9, 25] {
+        assert_eq!(a_locs.eval_i64(&[("n", nv)]), Some(nv * nv));
+        assert_eq!(b_locs.eval_i64(&[("n", nv)]), Some(nv * nv));
+    }
+}
+
+/// A skewed stencil loop: uniformly generated grouping keeps the
+/// formula small, and the count matches the naive union.
+#[test]
+fn skewed_stencil_footprint() {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+    // a[i+j], a[i+j+1], a[i+j+2] — 1-D uniformly generated set
+    let refs: Vec<ArrayRef> = (0..3)
+        .map(|o| {
+            ArrayRef::new(
+                "a",
+                vec![Affine::var(i) + Affine::var(j) + Affine::constant(o)],
+            )
+        })
+        .collect();
+    let groups = group_uniformly_generated(&refs);
+    assert_eq!(groups.len(), 1);
+    let c = distinct_locations(&nest, &refs);
+    for nv in 0i64..=9 {
+        // touched: 2..=2n+2 when n >= 1
+        let expect = if nv >= 1 { 2 * nv + 1 } else { 0 };
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+    }
+}
+
+/// Strided loops interact with cache-line counting.
+#[test]
+fn strided_access_cache_lines() {
+    // for i = 1..n step 2 { touch a[i] } with 4-element lines
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop_strided("i", Affine::constant(1), Affine::var(n), 2);
+    let refs = vec![ArrayRef::new("a", vec![Affine::var(i)])];
+    let lines = distinct_cache_lines(&nest, &refs, 4);
+    for nv in 0i64..=20 {
+        let mut expect = std::collections::BTreeSet::new();
+        let mut iv = 1;
+        while iv <= nv {
+            expect.insert((iv - 1) / 4);
+            iv += 2;
+        }
+        assert_eq!(
+            lines.eval_i64(&[("n", nv)]),
+            Some(expect.len() as i64),
+            "n={nv}"
+        );
+    }
+}
+
+/// Guarded (trapezoidal) nest load balance.
+#[test]
+fn trapezoid_load_balance() {
+    // forall i = 1..n { for j = 1..n { if j <= i + 2 {…} } }
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+    let j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
+    nest.guard(Formula::le(
+        Affine::var(j),
+        Affine::var(i) + Affine::constant(2),
+    ));
+    let wp = work_profile(&nest, i);
+    assert!(!wp.is_balanced());
+    // work(i) = min(n, i+2)
+    for iv in 1i64..=10 {
+        assert_eq!(wp.work_at(iv, &[("n", 10)]), (iv + 2).min(10), "i={iv}");
+    }
+    // chunks cover and roughly balance
+    let chunks = wp.balanced_chunks(1, 50, 5, &[("n", 50)]);
+    assert_eq!(chunks.len(), 5);
+    assert_eq!(chunks[0].0, 1);
+    assert_eq!(chunks.last().unwrap().1, 50);
+}
+
+/// HPF: round-trip between the symbolic ownership count and the
+/// concrete owner function across distributions.
+#[test]
+fn hpf_ownership_crosscheck() {
+    for (procs, block) in [(2i64, 1i64), (3, 2), (4, 4), (5, 3)] {
+        let d = BlockCyclic::new(procs, block);
+        let mut s = presburger_omega::Space::new();
+        let p = s.var("p");
+        let count =
+            d.elements_on_processor(&s, Affine::constant(0), Affine::constant(59), p);
+        for pv in 0..procs {
+            let brute = (0..=59).filter(|&t| d.owner(t) == pv).count() as i64;
+            assert_eq!(
+                count.eval_i64(&[("p", pv)]),
+                Some(brute),
+                "procs={procs} block={block} p={pv}"
+            );
+        }
+    }
+}
+
+/// Imperfect information: a loop nest whose inner bound comes from a
+/// floor (blocking/tiling idiom).
+#[test]
+fn tiled_loop_iteration_count() {
+    // for t = 0..⌊(n−1)/4⌋ { for i = 4t+1..min(4t+4, n) } — tiling by 4
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("n");
+    let t = nest.add_loop("t", Affine::constant(0), Affine::var(n)); // loose upper; guard below
+    let i = nest.add_loop("i", Affine::term(t, 4) + Affine::constant(1), Affine::var(n));
+    nest.also_upper(Affine::term(t, 4) + Affine::constant(4));
+    nest.guard(Formula::le(
+        Affine::term(t, 4) + Affine::constant(1),
+        Affine::var(n),
+    ));
+    let c = nest.iteration_count();
+    // every i in 1..=n is visited exactly once
+    for nv in 0i64..=25 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(nv.max(0)), "n={nv}");
+    }
+    let _ = i;
+}

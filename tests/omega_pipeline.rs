@@ -1,0 +1,182 @@
+//! Cross-crate properties of the Omega-test pipeline: exactness of
+//! elimination, disjointness of disjoint DNF, and the gist/implication
+//! algebra — on randomized inputs.
+
+use presburger::prelude::*;
+use presburger_arith::Int as BigInt;
+use presburger_omega::dnf::{simplify, SimplifyOptions};
+use presburger_omega::eliminate::{eliminate, Shadow};
+use presburger_omega::redundant::{gist, implies};
+use presburger_omega::{Conjunct, Space};
+use proptest::prelude::*;
+
+fn conjunct_2d(
+    s: &mut Space,
+    atoms: &[(i64, i64, i64)],
+) -> (Conjunct, VarId, VarId) {
+    let x = s.var("x");
+    let y = s.var("y");
+    let mut c = Conjunct::new();
+    // keep things bounded
+    c.add_geq(Affine::from_terms(&[(x, 1)], 8));
+    c.add_geq(Affine::from_terms(&[(x, -1)], 8));
+    c.add_geq(Affine::from_terms(&[(y, 1)], 8));
+    c.add_geq(Affine::from_terms(&[(y, -1)], 8));
+    for &(a, b, k) in atoms {
+        c.add_geq(Affine::from_terms(&[(x, a), (y, b)], k));
+    }
+    (c, x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Exact elimination preserves the integer projection, in both
+    /// splintering modes; the disjoint mode never double-covers.
+    #[test]
+    fn elimination_exactness(atoms in proptest::collection::vec(
+        (-4i64..=4, -4i64..=4, -8i64..=8), 1..4))
+    {
+        let mut s = Space::new();
+        let (c, x, y) = conjunct_2d(&mut s, &atoms);
+        for mode in [Shadow::ExactOverlapping, Shadow::ExactDisjoint] {
+            let r = eliminate(&c, y, &mut s, mode);
+            prop_assert!(r.exact);
+            for xv in -9i64..=9 {
+                let assign = |v: VarId| {
+                    assert_eq!(v, x);
+                    BigInt::from(xv)
+                };
+                let truth = (-9i64..=9).any(|yv| {
+                    c.contains_point(&s, &|v| if v == x { BigInt::from(xv) } else { BigInt::from(yv) })
+                });
+                let hits = r.clauses.iter()
+                    .filter(|cl| cl.contains_point(&s, &assign))
+                    .count();
+                prop_assert_eq!(hits > 0, truth, "mode {:?} x={}", mode, xv);
+                if mode == Shadow::ExactDisjoint {
+                    prop_assert!(hits <= 1, "overlap at x={}", xv);
+                }
+            }
+        }
+    }
+
+    /// Real and dark shadows bracket the projection.
+    #[test]
+    fn shadows_bracket(atoms in proptest::collection::vec(
+        (-4i64..=4, -4i64..=4, -8i64..=8), 1..4))
+    {
+        let mut s = Space::new();
+        let (c, x, y) = conjunct_2d(&mut s, &atoms);
+        let real = eliminate(&c, y, &mut s, Shadow::Real);
+        let dark = eliminate(&c, y, &mut s, Shadow::Dark);
+        for xv in -9i64..=9 {
+            let assign = |v: VarId| {
+                assert_eq!(v, x);
+                BigInt::from(xv)
+            };
+            let truth = (-9i64..=9).any(|yv| {
+                c.contains_point(&s, &|v| if v == x { BigInt::from(xv) } else { BigInt::from(yv) })
+            });
+            let in_real = real.clauses.iter().any(|cl| cl.contains_point(&s, &assign));
+            let in_dark = dark.clauses.iter().any(|cl| cl.contains_point(&s, &assign));
+            prop_assert!(!truth || in_real, "real shadow must cover x={}", xv);
+            prop_assert!(!in_dark || truth, "dark shadow must be sound at x={}", xv);
+        }
+    }
+
+    /// Disjoint DNF simplification of random union formulas covers the
+    /// same set with multiplicity one.
+    #[test]
+    fn disjoint_dnf_multiplicity(
+        iv0 in -5i64..5, len0 in 0i64..6,
+        iv1 in -5i64..5, len1 in 0i64..6,
+        stride_m in 2i64..4,
+    ) {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let f = Formula::or(vec![
+            Formula::between(Affine::constant(iv0), x, Affine::constant(iv0 + len0)),
+            Formula::between(Affine::constant(iv1), x, Affine::constant(iv1 + len1)),
+            Formula::and(vec![
+                Formula::between(Affine::constant(-3), x, Affine::constant(7)),
+                Formula::stride(stride_m, Affine::var(x)),
+            ]),
+        ]);
+        let plain = simplify(&f, &mut s, &SimplifyOptions::default());
+        let disjoint = simplify(&f, &mut s, &SimplifyOptions::disjoint());
+        for xv in -8i64..=10 {
+            let assign = |_: VarId| BigInt::from(xv);
+            let expected = plain.contains_point(&s, &assign);
+            let hits = disjoint.multiplicity(&s, &assign);
+            prop_assert_eq!(hits > 0, expected, "coverage at {}", xv);
+            prop_assert!(hits <= 1, "multiplicity {} at {}", hits, xv);
+        }
+    }
+
+    /// gist algebra: (gist P given Q) ∧ Q  ≡  P ∧ Q.
+    #[test]
+    fn gist_identity(p_atoms in proptest::collection::vec(
+        (-3i64..=3, -3i64..=3, -6i64..=6), 1..3),
+        q_atoms in proptest::collection::vec(
+        (-3i64..=3, -3i64..=3, -6i64..=6), 1..3))
+    {
+        let mut s = Space::new();
+        let (p, x, y) = conjunct_2d(&mut s, &p_atoms);
+        let mut q = Conjunct::new();
+        for &(a, b, k) in &q_atoms {
+            q.add_geq(Affine::from_terms(&[(x, a), (y, b)], k));
+        }
+        let g = gist(&p, &q, &mut s);
+        for xv in -9i64..=9 {
+            for yv in -9i64..=9 {
+                let assign = |v: VarId| if v == x { BigInt::from(xv) } else { BigInt::from(yv) };
+                let lhs = g.contains_point(&s, &assign) && q.contains_point(&s, &assign);
+                let rhs = p.contains_point(&s, &assign) && q.contains_point(&s, &assign);
+                prop_assert_eq!(lhs, rhs, "x={} y={}", xv, yv);
+            }
+        }
+    }
+
+    /// implies is sound: when it says P ⇒ Q, no counterexample exists.
+    #[test]
+    fn implication_soundness(p_atoms in proptest::collection::vec(
+        (-3i64..=3, -3i64..=3, -6i64..=6), 1..3),
+        q_atoms in proptest::collection::vec(
+        (-3i64..=3, -3i64..=3, -6i64..=6), 1..2))
+    {
+        let mut s = Space::new();
+        let (p, x, y) = conjunct_2d(&mut s, &p_atoms);
+        let mut q = Conjunct::new();
+        for &(a, b, k) in &q_atoms {
+            q.add_geq(Affine::from_terms(&[(x, a), (y, b)], k));
+        }
+        if implies(&p, &q, &mut s) {
+            for xv in -9i64..=9 {
+                for yv in -9i64..=9 {
+                    let assign = |v: VarId| if v == x { BigInt::from(xv) } else { BigInt::from(yv) };
+                    if p.contains_point(&s, &assign) {
+                        prop_assert!(q.contains_point(&s, &assign), "x={} y={}", xv, yv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The complete implication test is also complete on bounded systems:
+/// if brute force finds no counterexample inside the (bounding-box
+/// constrained) P, `implies` must return true.
+#[test]
+fn implication_completeness_on_boxes() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let mut p = Conjunct::new();
+    p.add_geq(Affine::from_terms(&[(x, 2)], -3)); // 2x >= 3 → x >= 2
+    let mut q = Conjunct::new();
+    q.add_geq(Affine::from_terms(&[(x, 1)], -2)); // x >= 2
+    assert!(implies(&p, &q, &mut s));
+    let mut q2 = Conjunct::new();
+    q2.add_geq(Affine::from_terms(&[(x, 1)], -3)); // x >= 3
+    assert!(!implies(&p, &q2, &mut s));
+}

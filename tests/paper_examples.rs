@@ -1,0 +1,265 @@
+//! End-to-end reproduction of every worked example in the paper,
+//! through the public facade API.
+
+use presburger::prelude::*;
+use presburger_apps::{distinct_cache_lines, distinct_locations, ArrayRef, LoopNest};
+use presburger_counting::try_count_solutions;
+
+/// §1 table: the four introductory sums.
+#[test]
+fn intro_table() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+
+    let c = count_solutions(
+        &s,
+        &Formula::between(Affine::constant(1), i, Affine::constant(10)),
+        &[i],
+    );
+    assert_eq!(c.eval_i64(&[]), Some(10));
+
+    let c = count_solutions(
+        &s,
+        &Formula::between(Affine::constant(1), i, Affine::var(n)),
+        &[i],
+    );
+    for nv in -3i64..=9 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(nv.max(0)), "n={nv}");
+    }
+
+    let square = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::constant(1), j, Affine::var(n)),
+    ]);
+    let c = count_solutions(&s, &square, &[i, j]);
+    for nv in -2i64..=9 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(nv.max(0).pow(2)), "n={nv}");
+    }
+
+    let strict = Formula::and(vec![
+        Formula::le(Affine::constant(1), Affine::var(i)),
+        Formula::lt(Affine::var(i), Affine::var(j)),
+        Formula::le(Affine::var(j), Affine::var(n)),
+    ]);
+    let c = count_solutions(&s, &strict, &[i, j]);
+    for nv in -2i64..=9 {
+        let expect = if nv >= 2 { nv * (nv - 1) / 2 } else { 0 };
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+    }
+}
+
+/// §1: the piecewise answer the naive CAS misses.
+#[test]
+fn intro_piecewise_vs_mathematica() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::var(i), j, Affine::var(m)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    // 1 ≤ n ≤ m region: n(2m − n + 1)/2
+    for nv in 1i64..=6 {
+        for mv in nv..=8 {
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(nv * (2 * mv - nv + 1) / 2),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+    // 1 ≤ m < n region: m(m+1)/2 — where Mathematica's answer is wrong
+    for mv in 1i64..=6 {
+        for nv in mv + 1..=8 {
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(mv * (mv + 1) / 2),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+}
+
+/// §6 Example 1 (Tawbi): the piecewise cubic, with only 2 pieces.
+#[test]
+fn example1() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let k = s.var("k");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::constant(1), j, Affine::var(i)),
+        Formula::between(Affine::var(j), k, Affine::var(m)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j, k]);
+    assert_eq!(c.num_pieces(), 2, "free order needs only 2 terms");
+    for nv in 0i64..=7 {
+        for mv in 0i64..=7 {
+            let mut brute = 0i64;
+            for iv in 1..=nv {
+                for jv in 1..=iv {
+                    brute += (jv..=mv).count() as i64;
+                }
+            }
+            assert_eq!(c.eval_i64(&[("n", nv), ("m", mv)]), Some(brute), "n={nv} m={mv}");
+        }
+    }
+}
+
+/// §6 Example 2 (HP): 6n − 16 for n > 5.
+#[test]
+fn example2() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let k = s.var("k");
+    let n = s.symbol("n");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::var(n)),
+        Formula::between(Affine::constant(3), j, Affine::var(i)),
+        Formula::between(Affine::var(j), k, Affine::constant(5)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j, k]);
+    for nv in 6i64..=15 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(6 * nv - 16), "n={nv}");
+    }
+    // the small region 3 ≤ n < 5 simplifies to 5n − 12 per the paper
+    for nv in 3i64..5 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(5 * nv - 12), "n={nv}");
+    }
+    assert_eq!(c.eval_i64(&[("n", 2)]), Some(0));
+}
+
+/// §6 Example 3 (HP): n².
+#[test]
+fn example3() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(1), i, Affine::term(n, 2)),
+        Formula::between(Affine::constant(1), j, Affine::var(i)),
+        Formula::le(Affine::var(i) + Affine::var(j), Affine::term(n, 2)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    for nv in 0i64..=9 {
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(nv.max(0).pow(2)), "n={nv}");
+    }
+}
+
+/// §6 Example 4 (FST): 25 locations of a(6i+9j−7).
+#[test]
+fn example4() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let i = s.var("i");
+    let j = s.var("j");
+    let f = Formula::exists(
+        vec![i, j],
+        Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::constant(8)),
+            Formula::between(Affine::constant(1), j, Affine::constant(5)),
+            Formula::eq(Affine::var(x), Affine::from_terms(&[(i, 6), (j, 9)], -7)),
+        ]),
+    );
+    let c = count_solutions(&s, &f, &[x]);
+    assert_eq!(c.eval_i64(&[]), Some(25));
+}
+
+/// §6 Example 5: SOR — 249 996 locations and 16 000 cache lines at
+/// N = 500; N² − 4 symbolically.
+#[test]
+fn example5() {
+    let mut nest = LoopNest::new();
+    let n = nest.symbol("N");
+    let i = nest.add_loop(
+        "i",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let j = nest.add_loop(
+        "j",
+        Affine::constant(2),
+        Affine::var(n) - Affine::constant(1),
+    );
+    let at = |di: i64, dj: i64| {
+        ArrayRef::new(
+            "a",
+            vec![
+                Affine::var(i) + Affine::constant(di),
+                Affine::var(j) + Affine::constant(dj),
+            ],
+        )
+    };
+    let refs = vec![at(0, 0), at(-1, 0), at(1, 0), at(0, -1), at(0, 1)];
+    let loc = distinct_locations(&nest, &refs);
+    assert_eq!(loc.eval_i64(&[("N", 500)]), Some(249_996));
+    for nv in [3i64, 4, 10, 37] {
+        assert_eq!(loc.eval_i64(&[("N", nv)]), Some(nv * nv - 4), "N={nv}");
+    }
+    let lines = distinct_cache_lines(&nest, &refs, 16);
+    assert_eq!(lines.eval_i64(&[("N", 500)]), Some(16_000));
+}
+
+/// §6 Example 6: the parity splinter (3n² + 2n − (n mod 2))/4.
+#[test]
+fn example6() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let f = Formula::and(vec![
+        Formula::le(Affine::constant(1), Affine::var(i)),
+        Formula::le(Affine::constant(1), Affine::var(j)),
+        Formula::le(Affine::var(j), Affine::var(n)),
+        Formula::le(Affine::term(i, 2), Affine::term(j, 3)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    for nv in 1i64..=16 {
+        let expect = (3 * nv * nv + 2 * nv - nv.rem_euclid(2)) / 4;
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+    }
+}
+
+/// §3.1: floors and mods in formulas (through `Desugar`).
+#[test]
+fn nonlinear_constraints() {
+    // count x in [0, n] with x = 3·⌊n/3⌋ − x  (i.e. 2x = 3⌊n/3⌋)
+    let mut s = Space::new();
+    let x = s.var("x");
+    let n = s.symbol("n");
+    let mut d = Desugar::new(&mut s);
+    let fl = d.floor_div(Affine::var(n), 3);
+    let body = Formula::and(vec![
+        Formula::between(Affine::constant(0), x, Affine::var(n)),
+        Formula::eq(Affine::term(x, 2), Affine::zero().add_scaled(&fl, &3.into())),
+    ]);
+    let f = d.finish(body);
+    let c = count_solutions(&s, &f, &[x]);
+    for nv in 0i64..=20 {
+        let target = 3 * (nv / 3);
+        let expect = i64::from(target % 2 == 0 && target / 2 <= nv);
+        assert_eq!(c.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+    }
+}
+
+/// Unbounded sums are reported as errors, not wrong answers.
+#[test]
+fn unbounded_detection() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let f = Formula::ge(Affine::var(x));
+    let r = try_count_solutions(&s, &f, &[x], &CountOptions::default());
+    assert!(r.is_err());
+}
+
+use presburger_omega::Desugar;

@@ -1,0 +1,150 @@
+//! §2.1's two non-convex representations — stride format and projected
+//! format — on the paper's own example:
+//!
+//! > the solutions for x in (∃i,j : 1≤i≤8 ∧ 1≤j≤5 ∧ x = 6i+9j−7) are
+//! > all numbers between 8 and 86 (inclusive) that have remainder 2
+//! > when divided by 3, except for 11 and 83.
+//!
+//! Stride format:  x=8  ∨  (14 ≤ x ≤ 80 ∧ 3|(x+1))  ∨  x=86
+//! Projected format:  x=8 ∨ (∃a: 5 ≤ a ≤ 27 ∧ x = 3a−1) ∨ x=86
+
+use presburger::prelude::*;
+use presburger_arith::Int as BigInt;
+use presburger_omega::dnf::{project_wildcards, simplify, SimplifyOptions};
+use presburger_omega::eliminate::Shadow;
+
+fn the_set(x: i64) -> bool {
+    (8..=86).contains(&x) && x.rem_euclid(3) == 2 && x != 11 && x != 83
+}
+
+fn paper_formula(s: &mut Space) -> (Formula, VarId) {
+    let x = s.var("x");
+    let i = s.var("i");
+    let j = s.var("j");
+    let f = Formula::exists(
+        vec![i, j],
+        Formula::and(vec![
+            Formula::between(Affine::constant(1), i, Affine::constant(8)),
+            Formula::between(Affine::constant(1), j, Affine::constant(5)),
+            Formula::eq(Affine::var(x), Affine::from_terms(&[(i, 6), (j, 9)], -7)),
+        ]),
+    );
+    (f, x)
+}
+
+/// The paper's characterization of the projection is correct (sanity
+/// check of the transcription).
+#[test]
+fn paper_characterization_matches_enumeration() {
+    let mut touched = std::collections::BTreeSet::new();
+    for i in 1..=8i64 {
+        for j in 1..=5i64 {
+            touched.insert(6 * i + 9 * j - 7);
+        }
+    }
+    for x in 0..=100i64 {
+        assert_eq!(touched.contains(&x), the_set(x), "x={x}");
+    }
+}
+
+/// Simplifying the formula projects the wildcards exactly.
+#[test]
+fn projection_is_exact() {
+    let mut s = Space::new();
+    let (f, _x) = paper_formula(&mut s);
+    let d = simplify(&f, &mut s, &SimplifyOptions::default());
+    for xv in 0..=100i64 {
+        assert_eq!(
+            d.contains_point(&s, &|_| BigInt::from(xv)),
+            the_set(xv),
+            "x={xv}"
+        );
+    }
+}
+
+/// The disjoint version is exact AND single-covering.
+#[test]
+fn disjoint_projection_is_exact_and_single() {
+    let mut s = Space::new();
+    let (f, x) = paper_formula(&mut s);
+    let d = simplify(&f, &mut s, &SimplifyOptions::disjoint());
+    for xv in 0..=100i64 {
+        let hits = d.multiplicity(&s, &|_| BigInt::from(xv));
+        assert_eq!(hits > 0, the_set(xv), "x={xv}");
+        assert!(hits <= 1, "x={xv} covered {hits} times");
+    }
+    let _ = x;
+}
+
+/// Converting projected format to stride format with
+/// `project_wildcards`: the result clauses carry stride constraints
+/// (the `3|(x+1)`-style middle clause) and no residual wildcards
+/// outside strides.
+#[test]
+fn stride_format_conversion() {
+    let mut s = Space::new();
+    let (f, x) = paper_formula(&mut s);
+    let d = simplify(&f, &mut s, &SimplifyOptions::default());
+    let mut all_stride_form = Vec::new();
+    for clause in &d.clauses {
+        all_stride_form.extend(project_wildcards(clause, &mut s, Shadow::ExactOverlapping));
+    }
+    // no clause mentions a wildcard outside stride implicit quantifiers
+    for c in &all_stride_form {
+        let mentioned = c.mentioned_vars();
+        for w in c.wildcards() {
+            assert!(
+                !mentioned.contains(w),
+                "wildcard {} escaped: {}",
+                s.name(*w),
+                c.to_string(&s)
+            );
+        }
+    }
+    // the union is still exactly the set
+    for xv in 0..=100i64 {
+        let got = all_stride_form
+            .iter()
+            .any(|c| c.contains_point(&s, &|_| BigInt::from(xv)));
+        assert_eq!(got, the_set(xv), "x={xv}");
+    }
+    // and at least one clause uses a stride (the non-convex middle part)
+    assert!(
+        all_stride_form.iter().any(|c| !c.strides().is_empty()),
+        "expected a stride-format clause"
+    );
+    let _ = x;
+}
+
+/// Round-trip: stride format → formula → simplify → same set.
+#[test]
+fn stride_format_roundtrip() {
+    let mut s = Space::new();
+    let (f, _x) = paper_formula(&mut s);
+    let d = simplify(&f, &mut s, &SimplifyOptions::default());
+    let mut clauses = Vec::new();
+    for clause in &d.clauses {
+        clauses.extend(project_wildcards(clause, &mut s, Shadow::ExactOverlapping));
+    }
+    let rebuilt = Formula::or(clauses.iter().map(|c| c.to_formula()).collect());
+    let d2 = simplify(&rebuilt, &mut s, &SimplifyOptions::default());
+    for xv in 0..=100i64 {
+        assert_eq!(
+            d2.contains_point(&s, &|_| BigInt::from(xv)),
+            the_set(xv),
+            "x={xv}"
+        );
+    }
+}
+
+/// Counting through the projected representation gives the paper's 25.
+#[test]
+fn count_is_25() {
+    let mut s = Space::new();
+    let (f, x) = paper_formula(&mut s);
+    let c = count_solutions(&s, &f, &[x]);
+    assert_eq!(c.eval_i64(&[]), Some(25));
+    // cross-check the characterization: |{8} ∪ {14..80 ≡2 mod 3} ∪ {86}|
+    let brute = (0..=100i64).filter(|&v| the_set(v)).count() as i64;
+    assert_eq!(brute, 25);
+}

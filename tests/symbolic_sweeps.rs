@@ -1,0 +1,169 @@
+//! Exhaustive grid sweeps of symbolic answers over *two* symbolic
+//! parameters, including regions where pieces switch over — the
+//! crossover behaviour is exactly what guarded answers must get right.
+
+use presburger::prelude::*;
+use presburger_arith::Int as BigInt;
+use presburger_counting::{enumerate, try_sum_polynomial};
+
+fn brute_count(
+    f: &Formula,
+    vars: &[VarId],
+    range: std::ops::RangeInclusive<i64>,
+    n: VarId,
+    nv: i64,
+    m: VarId,
+    mv: i64,
+) -> i64 {
+    enumerate::count_formula(f, vars, range, &|v| {
+        if v == n {
+            BigInt::from(nv)
+        } else {
+            assert_eq!(v, m);
+            BigInt::from(mv)
+        }
+    }) as i64
+}
+
+/// Intersection of a triangle with a band: three crossover regimes.
+#[test]
+fn triangle_band_crossovers() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::le(Affine::constant(1), Affine::var(i)),
+        Formula::le(Affine::var(i), Affine::var(j)),
+        Formula::le(Affine::var(j), Affine::var(n)),
+        Formula::le(Affine::var(i) + Affine::var(j), Affine::var(m)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    for nv in -2i64..=8 {
+        for mv in -2i64..=16 {
+            let expect = brute_count(&f, &[i, j], -1..=9, n, nv, m, mv);
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(expect),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+}
+
+/// Rational bounds against two symbols (mod atoms in both parameters).
+#[test]
+fn rational_bounds_two_symbols() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    // ⌈m/2⌉ ≤ x ≤ ⌊n/3⌋, i.e. 2x ≥ m ∧ 3x ≤ n
+    let f = Formula::and(vec![
+        Formula::le(Affine::var(m), Affine::term(x, 2)),
+        Formula::le(Affine::term(x, 3), Affine::var(n)),
+    ]);
+    let c = count_solutions(&s, &f, &[x]);
+    for nv in -4i64..=18 {
+        for mv in -6i64..=14 {
+            let expect = brute_count(&f, &[x], -8..=8, n, nv, m, mv);
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(expect),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+}
+
+/// A strided diagonal region with two symbols.
+#[test]
+fn strided_diagonal_two_symbols() {
+    let mut s = Space::new();
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::between(Affine::constant(0), i, Affine::var(n)),
+        Formula::between(Affine::constant(0), j, Affine::var(m)),
+        Formula::stride(3, Affine::var(i) + Affine::var(j)),
+    ]);
+    let c = count_solutions(&s, &f, &[i, j]);
+    for nv in -1i64..=7 {
+        for mv in -1i64..=7 {
+            let expect = brute_count(&f, &[i, j], -1..=8, n, nv, m, mv);
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(expect),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+}
+
+/// Negative-bound polynomial sums: odd powers must cancel correctly
+/// across zero (the §4.2 negative-bounds subtlety).
+#[test]
+fn negative_bound_odd_power_sums() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::le(-Affine::var(m), Affine::var(x)), // x >= -m
+        Formula::le(Affine::var(x), Affine::var(n)),
+    ]);
+    let z = QPoly::var(x) * QPoly::var(x) * QPoly::var(x); // x³
+    let c = try_sum_polynomial(&s, &f, &[x], &z, &CountOptions::default()).unwrap();
+    for nv in -3i64..=6 {
+        for mv in -3i64..=6 {
+            let brute: i64 = (-mv..=nv).map(|v| v * v * v).sum();
+            assert_eq!(
+                c.eval_rat(&[("n", nv), ("m", mv)]),
+                presburger_arith::Rat::from(brute),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+    // symmetric range: the sum must vanish identically
+    assert_eq!(c.eval_rat(&[("n", 5), ("m", 5)]), presburger_arith::Rat::zero());
+}
+
+/// A four-piece-mode crosscheck on a two-symbol workload.
+#[test]
+fn four_piece_two_symbols() {
+    let mut s = Space::new();
+    let x = s.var("x");
+    let n = s.symbol("n");
+    let m = s.symbol("m");
+    let f = Formula::and(vec![
+        Formula::le(Affine::var(m), Affine::var(x)),
+        Formula::le(Affine::var(x), Affine::var(n)),
+    ]);
+    let z = QPoly::var(x) * QPoly::var(x);
+    let default = try_sum_polynomial(&s, &f, &[x], &z, &CountOptions::default()).unwrap();
+    let four = try_sum_polynomial(
+        &s,
+        &f,
+        &[x],
+        &z,
+        &CountOptions {
+            four_piece: true,
+            ..CountOptions::default()
+        },
+    )
+    .unwrap();
+    for nv in -5i64..=5 {
+        for mv in -5i64..=5 {
+            assert_eq!(
+                default.eval_rat(&[("n", nv), ("m", mv)]),
+                four.eval_rat(&[("n", nv), ("m", mv)]),
+                "n={nv} m={mv}"
+            );
+        }
+    }
+    // the four-piece answer has more pieces — that is its point
+    assert!(four.num_pieces() >= default.num_pieces());
+}
