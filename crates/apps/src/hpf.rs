@@ -45,16 +45,8 @@ impl BlockCyclic {
                     + Affine::term(p, self.block)
                     + Affine::term(c, self.block * self.procs),
             ),
-            Formula::between(
-                Affine::constant(0),
-                l,
-                Affine::constant(self.block - 1),
-            ),
-            Formula::between(
-                Affine::constant(0),
-                p,
-                Affine::constant(self.procs - 1),
-            ),
+            Formula::between(Affine::constant(0), l, Affine::constant(self.block - 1)),
+            Formula::between(Affine::constant(0), p, Affine::constant(self.procs - 1)),
             Formula::le(Affine::constant(0), Affine::var(c)),
         ])
     }
@@ -177,8 +169,7 @@ mod tests {
             d.mapping(t, p, c, l),
         ]);
         // counting (p, c, l, t) equals counting t alone (101 cells)
-        let quad = try_count_solutions(&s, &f, &[t, p, c, l], &CountOptions::default())
-            .unwrap();
+        let quad = try_count_solutions(&s, &f, &[t, p, c, l], &CountOptions::default()).unwrap();
         assert_eq!(quad.eval_i64(&[]), Some(101));
     }
 
@@ -190,12 +181,7 @@ mod tests {
         let s = Space::new();
         let mut s2 = s.clone();
         let p = s2.var("p");
-        let count = d.elements_on_processor(
-            &s2,
-            Affine::constant(0),
-            Affine::constant(1024),
-            p,
-        );
+        let count = d.elements_on_processor(&s2, Affine::constant(0), Affine::constant(1024), p);
         let mut total = 0i64;
         for pv in 0..8i64 {
             let got = count.eval_i64(&[("p", pv)]).unwrap();

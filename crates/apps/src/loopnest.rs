@@ -192,10 +192,7 @@ impl LoopNest {
                 // var ≡ max-lower (mod step); with several lower bounds
                 // the stride is anchored at the first
                 let anchor = &l.lowers[0];
-                parts.push(Formula::stride(
-                    l.step,
-                    Affine::var(l.var) - anchor.clone(),
-                ));
+                parts.push(Formula::stride(l.step, Affine::var(l.var) - anchor.clone()));
             }
         }
         parts.extend(self.guards.iter().cloned());
@@ -353,10 +350,7 @@ mod tests {
         let n = nest.symbol("n");
         let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
         let j = nest.add_loop("j", Affine::constant(1), Affine::var(n));
-        nest.guard(Formula::le(
-            Affine::var(i) + Affine::var(j),
-            Affine::var(n),
-        ));
+        nest.guard(Formula::le(Affine::var(i) + Affine::var(j), Affine::var(n)));
         let c = nest.iteration_count();
         // triangle with i+j <= n, i,j >= 1: n(n-1)/2 points
         assert_eq!(c.eval_i64(&[("n", 5)]), Some(10));

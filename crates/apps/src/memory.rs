@@ -56,10 +56,7 @@ pub fn distinct_cache_lines(nest: &LoopNest, refs: &[ArrayRef], line: i64) -> Sy
         .collect();
     let mut d = Desugar::new(&mut space);
     let mapped = d.floor_div(Affine::var(elem_vars[0]) - Affine::constant(1), line);
-    let mut parts = vec![
-        elem_formula,
-        Formula::eq(Affine::var(line_vars[0]), mapped),
-    ];
+    let mut parts = vec![elem_formula, Formula::eq(Affine::var(line_vars[0]), mapped)];
     for k in 1..elem_vars.len() {
         parts.push(Formula::eq(
             Affine::var(line_vars[k]),
@@ -123,8 +120,7 @@ fn footprint_formula(
                                 g.linear[k].clone() + Affine::constant(off[k]),
                             ));
                         }
-                        disjuncts
-                            .push(Formula::exists(iter_vars.clone(), Formula::and(parts)));
+                        disjuncts.push(Formula::exists(iter_vars.clone(), Formula::and(parts)));
                     }
                 }
             }
@@ -167,10 +163,7 @@ mod tests {
         let mut nest = LoopNest::new();
         let i = nest.add_loop("i", Affine::constant(1), Affine::constant(8));
         let j = nest.add_loop("j", Affine::constant(1), Affine::constant(5));
-        let r = ArrayRef::new(
-            "a",
-            vec![Affine::from_terms(&[(i, 6), (j, 9)], -7)],
-        );
+        let r = ArrayRef::new("a", vec![Affine::from_terms(&[(i, 6), (j, 9)], -7)]);
         let c = distinct_locations(&nest, &[r]);
         assert_eq!(c.eval_i64(&[]), Some(25));
     }

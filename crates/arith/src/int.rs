@@ -285,6 +285,10 @@ impl Int {
                 return Int(Repr::Small(mag as i128));
             }
         }
+        presburger_trace::bump(presburger_trace::Counter::IntPromotions);
+        let bits = (limbs.len() as u64 - 1) * 64
+            + (64 - limbs.last().expect("nonempty").leading_zeros() as u64);
+        presburger_trace::record_max(presburger_trace::Counter::MaxCoeffBits, bits);
         Int(Repr::Big { negative, limbs })
     }
 }
@@ -794,11 +798,17 @@ mod tests {
     #[test]
     fn i128_min_edge_cases() {
         let min = Int::from(i128::MIN);
-        assert_eq!((-min.clone()).to_string(), "170141183460469231731687303715884105728");
+        assert_eq!(
+            (-min.clone()).to_string(),
+            "170141183460469231731687303715884105728"
+        );
         let (q, r) = min.div_rem(&Int::from(-1));
         assert_eq!(q.to_string(), "170141183460469231731687303715884105728");
         assert!(r.is_zero());
-        assert_eq!(min.abs().to_string(), "170141183460469231731687303715884105728");
+        assert_eq!(
+            min.abs().to_string(),
+            "170141183460469231731687303715884105728"
+        );
     }
 
     #[test]
@@ -852,7 +862,10 @@ mod tests {
 
     #[test]
     fn pow_and_to_f64() {
-        assert_eq!(Int::from(2).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            Int::from(2).pow(100).to_string(),
+            "1267650600228229401496703205376"
+        );
         let x = Int::from(2).pow(100).to_f64();
         assert!((x - 1.2676506002282294e30).abs() / x < 1e-12);
     }

@@ -170,10 +170,7 @@ impl From<i64> for Rat {
 }
 
 fn add_impl(a: &Rat, b: &Rat) -> Rat {
-    Rat::new(
-        &(&a.num * &b.den) + &(&b.num * &a.den),
-        &a.den * &b.den,
-    )
+    Rat::new(&(&a.num * &b.den) + &(&b.num * &a.den), &a.den * &b.den)
 }
 
 fn mul_impl(a: &Rat, b: &Rat) -> Rat {

@@ -36,6 +36,7 @@ pub struct SmithNormalForm {
 /// assert_eq!(snf.rank, 2);
 /// ```
 pub fn smith_normal_form(a: &Matrix) -> SmithNormalForm {
+    presburger_trace::bump(presburger_trace::Counter::SmithNormalFormCalls);
     let rows = a.rows();
     let cols = a.cols();
     let mut d = a.clone();
@@ -236,8 +237,7 @@ pub fn hermite_normal_form(a: &Matrix) -> (Matrix, Matrix) {
             // Find smallest non-zero |entry| in row r at >= pivot_col.
             let mut best: Option<usize> = None;
             for j in pivot_col..cols {
-                if !h[(r, j)].is_zero()
-                    && best.is_none_or(|bj| h[(r, j)].abs() < h[(r, bj)].abs())
+                if !h[(r, j)].is_zero() && best.is_none_or(|bj| h[(r, j)].abs() < h[(r, bj)].abs())
                 {
                     best = Some(j);
                 }

@@ -15,7 +15,10 @@ fn limb_boundary_arithmetic() {
     // values straddling the i128 boundary
     let edge = Int::from(i128::MAX);
     let cases = [
-        (&edge + &Int::one(), "170141183460469231731687303715884105728"),
+        (
+            &edge + &Int::one(),
+            "170141183460469231731687303715884105728",
+        ),
         (&edge + &edge, "340282366920938463463374607431768211454"),
         (
             &(&edge * &edge) + &Int::one(),
@@ -85,7 +88,10 @@ fn rational_ordering_with_huge_terms() {
     assert!(Rat::one() < b);
     assert!(a < b);
     assert!(a.clone() * b.clone() <= Rat::one());
-    assert_eq!(a * b, Rat::one() * Rat::one() * Rat::new(Int::one(), Int::one()));
+    assert_eq!(
+        a * b,
+        Rat::one() * Rat::one() * Rat::new(Int::one(), Int::one())
+    );
 }
 
 #[test]

@@ -82,6 +82,7 @@ pub fn fst_locations(nest: &LoopNest, refs: &[ArrayRef], max_order: usize) -> Fs
                 // the iteration count as a conservative footprint
                 let c = nest.iteration_count();
                 summations += 1;
+                presburger_trace::bump(presburger_trace::Counter::FstSummations);
                 exact = false;
                 acc.add(c.value);
                 final_space = c.space;
@@ -116,6 +117,7 @@ pub fn fst_locations(nest: &LoopNest, refs: &[ArrayRef], max_order: usize) -> Fs
         let c = try_count_solutions(&space2, &f, &loc_vars, &CountOptions::default())
             .unwrap_or_else(|e| panic!("FST summation failed: {e}"));
         summations += 1;
+        presburger_trace::bump(presburger_trace::Counter::FstSummations);
         let signed = if k % 2 == 1 {
             c.value
         } else {

@@ -18,8 +18,8 @@
 use presburger_arith::{Int, Rat};
 use presburger_omega::VarId;
 
-pub use presburger_polyq::mexpr::MExpr;
 use presburger_polyq::mexpr::faulhaber_mexpr;
+pub use presburger_polyq::mexpr::MExpr;
 
 /// Result of an HP-style summation step.
 #[derive(Clone, Debug)]
@@ -65,6 +65,7 @@ pub fn hp_sum_once(lower: &MExpr, upper: &MExpr, coeffs: &[MExpr]) -> HpResult {
         MExpr::int(1),
     ]);
     steps += 1; // p() introduction
+    presburger_trace::add(presburger_trace::Counter::HpRewriteSteps, steps as u64);
     let expr = MExpr::Mul(vec![MExpr::Pos(Box::new(range)), MExpr::Add(total)]);
     HpResult { expr, steps }
 }
@@ -77,10 +78,7 @@ pub fn hp_sum_once(lower: &MExpr, upper: &MExpr, coeffs: &[MExpr]) -> HpResult {
 ///     where m = min(n, 5)
 /// ```
 pub fn example2_hp_answer(n: VarId) -> MExpr {
-    let m = MExpr::Min(
-        Box::new(MExpr::Var(n)),
-        Box::new(MExpr::int(5)),
-    );
+    let m = MExpr::Min(Box::new(MExpr::Var(n)), Box::new(MExpr::int(5)));
     let m2 = MExpr::Mul(vec![m.clone(), m.clone()]);
     let m3 = MExpr::Mul(vec![m.clone(), m.clone(), m.clone()]);
     let poly = MExpr::Add(vec![
@@ -153,11 +151,7 @@ mod tests {
         let r = hp_sum_once(&MExpr::int(1), &MExpr::Var(n), &[MExpr::int(1)]);
         for nv in -4i64..=8 {
             let expect = if nv >= 1 { nv } else { 0 };
-            assert_eq!(
-                r.expr.eval(&|_| Int::from(nv)),
-                Rat::from(expect),
-                "n={nv}"
-            );
+            assert_eq!(r.expr.eval(&|_| Int::from(nv)), Rat::from(expect), "n={nv}");
         }
     }
 

@@ -12,7 +12,6 @@
 //! answer is `m(m+1)/2`. This module reproduces the naive behaviour so
 //! the experiments can quantify exactly where it goes wrong.
 
-
 use presburger_omega::{Affine, Space, VarId};
 use presburger_polyq::QPoly;
 
@@ -61,12 +60,7 @@ pub fn naive_sum(levels: &[SumSpec], z: &QPoly) -> QPoly {
                 continue;
             }
             next = next
-                + cp * presburger_polyq::faulhaber::sum_powers(
-                    p as u32,
-                    &lower,
-                    &upper,
-                    level.var,
-                );
+                + cp * presburger_polyq::faulhaber::sum_powers(p as u32, &lower, &upper, level.var);
         }
         acc = next;
     }
@@ -118,9 +112,7 @@ mod tests {
     fn intro_correct_only_when_ranges_nonempty() {
         let mut s = Space::new();
         let (p, n, _m) = intro_example(&mut s);
-        let brute = |nv: i64, mv: i64| -> i64 {
-            (1..=nv).map(|iv| (iv..=mv).count() as i64).sum()
-        };
+        let brute = |nv: i64, mv: i64| -> i64 { (1..=nv).map(|iv| (iv..=mv).count() as i64).sum() };
         // correct when 1 ≤ n ≤ m
         for (nv, mv) in [(1, 1), (2, 5), (5, 5), (3, 9)] {
             assert_eq!(

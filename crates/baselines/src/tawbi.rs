@@ -65,6 +65,8 @@ fn rec(
             return GuardedValue::zero();
         }
         *pieces += 1;
+        presburger_trace::bump(presburger_trace::Counter::TawbiSplits);
+        presburger_trace::explain(|| format!("Tawbi leaf: {}", c.to_string(space)));
         return GuardedValue::piece(c, z.clone());
     };
     let (lowers, uppers, _) = c.bounds_on(v);
@@ -190,7 +192,7 @@ mod tests {
         c.add_geq(Affine::from_terms(&[(i, 1), (j, -1)], 0)); // j <= i
         c.add_geq(Affine::from_terms(&[(k, 1), (j, -1)], 0)); // j <= k
         c.add_geq(Affine::from_terms(&[(m, 1), (k, -1)], 0)); // k <= m
-        // innermost-first fixed order: k, j, i
+                                                              // innermost-first fixed order: k, j, i
         let r = tawbi_sum(&c, &[k, j, i], &QPoly::one(), &mut s);
         assert_eq!(r.pieces, 3, "Tawbi's fixed order needs 3 terms here");
         // and the value is still correct

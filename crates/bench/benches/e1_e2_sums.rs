@@ -16,11 +16,7 @@ fn bench_simple_sums(c: &mut Criterion) {
         let i = s.var("i");
         let n = s.var("n");
         let f = Formula::between(Affine::constant(1), i, Affine::var(n));
-        b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i], &CountOptions::default()).unwrap(),
-            )
-        });
+        b.iter(|| black_box(try_count_solutions(&s, &f, &[i], &CountOptions::default()).unwrap()));
     });
 
     group.bench_function("count_square", |b| {
@@ -33,9 +29,7 @@ fn bench_simple_sums(c: &mut Criterion) {
             Formula::between(Affine::constant(1), j, Affine::var(n)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap())
         });
     });
 
@@ -50,9 +44,7 @@ fn bench_simple_sums(c: &mut Criterion) {
             Formula::le(Affine::var(j), Affine::var(n)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap())
         });
     });
 
@@ -96,9 +88,7 @@ fn bench_intro_naive(c: &mut Criterion) {
             Formula::between(Affine::var(i), j, Affine::var(m)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap())
         });
     });
 

@@ -44,23 +44,27 @@ fn bench_example1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_example1");
     group.sample_size(10);
     for depth in [3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::new("ours_free_order", depth), &depth, |b, &d| {
-            let (s, conj, vars) = example1_family(d);
-            let f = conjunct_to_formula(&conj);
-            b.iter(|| {
-                black_box(
-                    try_count_solutions(&s, &f, &vars, &CountOptions::default()).unwrap(),
-                )
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("tawbi_fixed_order", depth), &depth, |b, &d| {
-            let (s, conj, vars) = example1_family(d);
-            let mut order = vars.clone();
-            order.reverse();
-            b.iter(|| {
-                black_box(tawbi_sum(&conj, &order, &QPoly::one(), &mut s.clone()))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ours_free_order", depth),
+            &depth,
+            |b, &d| {
+                let (s, conj, vars) = example1_family(d);
+                let f = conjunct_to_formula(&conj);
+                b.iter(|| {
+                    black_box(try_count_solutions(&s, &f, &vars, &CountOptions::default()).unwrap())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tawbi_fixed_order", depth),
+            &depth,
+            |b, &d| {
+                let (s, conj, vars) = example1_family(d);
+                let mut order = vars.clone();
+                order.reverse();
+                b.iter(|| black_box(tawbi_sum(&conj, &order, &QPoly::one(), &mut s.clone())));
+            },
+        );
     }
     group.finish();
 }
@@ -81,9 +85,7 @@ fn bench_examples_2_3(c: &mut Criterion) {
             Formula::between(Affine::var(j), k, Affine::constant(5)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j, k], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j, k], &CountOptions::default()).unwrap())
         });
     });
 
@@ -98,9 +100,7 @@ fn bench_examples_2_3(c: &mut Criterion) {
             Formula::le(Affine::var(i) + Affine::var(j), Affine::term(n, 2)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap())
         });
     });
 

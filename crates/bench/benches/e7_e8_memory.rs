@@ -101,32 +101,24 @@ fn bench_inclusion_exclusion(c: &mut Criterion) {
     let mut group = c.benchmark_group("a3_inclusion_exclusion");
     group.sample_size(10);
     for k in [2usize, 3, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("fst_full_order", k),
-            &k,
-            |b, &k| {
-                let mut nest = LoopNest::new();
-                let n = nest.symbol("N");
-                let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
-                let refs: Vec<ArrayRef> = (0..k as i64)
-                    .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
-                    .collect();
-                b.iter(|| black_box(fst_locations(&nest, &refs, k)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ours_summarized", k),
-            &k,
-            |b, &k| {
-                let mut nest = LoopNest::new();
-                let n = nest.symbol("N");
-                let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
-                let refs: Vec<ArrayRef> = (0..k as i64)
-                    .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
-                    .collect();
-                b.iter(|| black_box(distinct_locations(&nest, &refs)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fst_full_order", k), &k, |b, &k| {
+            let mut nest = LoopNest::new();
+            let n = nest.symbol("N");
+            let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+            let refs: Vec<ArrayRef> = (0..k as i64)
+                .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
+                .collect();
+            b.iter(|| black_box(fst_locations(&nest, &refs, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("ours_summarized", k), &k, |b, &k| {
+            let mut nest = LoopNest::new();
+            let n = nest.symbol("N");
+            let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
+            let refs: Vec<ArrayRef> = (0..k as i64)
+                .map(|o| ArrayRef::new("a", vec![Affine::var(i) + Affine::constant(o)]))
+                .collect();
+            b.iter(|| black_box(distinct_locations(&nest, &refs)));
+        });
     }
     group.finish();
 }

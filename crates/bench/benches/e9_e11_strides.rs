@@ -23,9 +23,7 @@ fn bench_example6(c: &mut Criterion) {
             Formula::le(Affine::term(i, 2), Affine::term(j, 3)),
         ]);
         b.iter(|| {
-            black_box(
-                try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap(),
-            )
+            black_box(try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap())
         });
     });
     group.finish();

@@ -1,27 +1,45 @@
-//! Prints the paper-vs-measured table for every experiment.
+//! Prints the paper-vs-measured table for every experiment, with the
+//! pipeline counters each one fired, and writes the machine-readable
+//! `BENCH_counters.json` next to the current directory.
 //!
 //! ```text
 //! cargo run --release -p presburger-bench --bin experiments
 //! ```
 
 use presburger_bench::all_experiments;
+use presburger_trace::json::{array, JsonObject};
 
 fn main() {
-    println!("| Id | Experiment | Paper | Measured | Pass |");
-    println!("|----|------------|-------|----------|------|");
+    println!("| Id | Experiment | Paper | Measured | Counters | ms | Pass |");
+    println!("|----|------------|-------|----------|----------|----|------|");
     let mut failures = 0;
+    let mut entries = Vec::new();
     for r in all_experiments() {
         println!(
-            "| {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {:.1} | {} |",
             r.id,
             r.title,
             r.paper.replace('|', "\\|"),
             r.measured.replace('|', "\\|"),
+            r.counter_summary().replace('|', "\\|"),
+            r.wall.as_secs_f64() * 1e3,
             if r.pass { "✅" } else { "❌" }
         );
         if !r.pass {
             failures += 1;
         }
+        let mut obj = JsonObject::new();
+        obj.field_str("id", r.id);
+        obj.field_str("title", r.title);
+        obj.field_bool("pass", r.pass);
+        obj.field_f64("wall_ms", r.wall.as_secs_f64() * 1e3);
+        obj.field_raw("counters", &r.counters.to_json());
+        entries.push(obj.finish());
+    }
+    let path = "BENCH_counters.json";
+    match std::fs::write(path, array(entries) + "\n") {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

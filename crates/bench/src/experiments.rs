@@ -2,22 +2,17 @@
 //! index). Each returns a [`Report`] comparing the paper's claim with
 //! what this implementation measures.
 
-use presburger_apps::{
-    distinct_cache_lines, distinct_locations, ArrayRef, BlockCyclic, LoopNest,
-};
+use presburger_apps::{distinct_cache_lines, distinct_locations, ArrayRef, BlockCyclic, LoopNest};
 use presburger_arith::{Int, Rat};
-use presburger_baselines::{
-    example2_hp_answer, fst_locations, intro_example, tawbi_sum, MExpr,
-};
-use presburger_counting::{
-    enumerate, try_count_solutions, CountOptions, Mode, Symbolic,
-};
+use presburger_baselines::{example2_hp_answer, fst_locations, intro_example, tawbi_sum, MExpr};
+use presburger_counting::{enumerate, try_count_solutions, CountOptions, Mode, Symbolic};
 use presburger_omega::dnf::{simplify, SimplifyOptions};
 use presburger_omega::eliminate::{eliminate, Shadow};
 use presburger_omega::hull::{summarize_offsets, zero_one_encoding};
 use presburger_omega::{Affine, Conjunct, Formula, Space, VarId};
 use presburger_polyq::QPoly;
-use std::time::Instant;
+use presburger_trace::{self as trace, Counter, PipelineStats};
+use std::time::{Duration, Instant};
 
 /// The outcome of one experiment.
 #[derive(Clone, Debug)]
@@ -33,6 +28,12 @@ pub struct Report {
     /// Whether the measured result matches the paper's claim (shape,
     /// not absolute timing).
     pub pass: bool,
+    /// Wall time for the whole experiment (checks included) — filled by
+    /// [`all_experiments`].
+    pub wall: Duration,
+    /// Pipeline counters accumulated during the experiment — filled by
+    /// [`all_experiments`].
+    pub counters: PipelineStats,
 }
 
 impl Report {
@@ -49,37 +50,91 @@ impl Report {
             paper: paper.into(),
             measured: measured.into(),
             pass,
+            wall: Duration::ZERO,
+            counters: PipelineStats::default(),
         }
+    }
+
+    /// The headline pipeline counters as a compact `name=value` list
+    /// (EXPERIMENTS.md table cell). Low-level counters (feasibility
+    /// checks, Faulhaber histogram, gist calls) are left to the full
+    /// JSON dump.
+    pub fn counter_summary(&self) -> String {
+        const HEADLINE: [Counter; 13] = [
+            Counter::SplintersGenerated,
+            Counter::SplintersPruned,
+            Counter::DarkShadowClauses,
+            Counter::ConvexLeafPieces,
+            Counter::ConvexSplitCases,
+            Counter::DnfClausesClean,
+            Counter::DnfClausesDisjoint,
+            Counter::RedundantRemovedComplete,
+            Counter::SmithNormalFormCalls,
+            Counter::TawbiSplits,
+            Counter::HpRewriteSteps,
+            Counter::FstSummations,
+            Counter::AdaptiveExactFallbacks,
+        ];
+        let mut out = String::new();
+        for c in HEADLINE {
+            let v = self.counters.get(c);
+            if v == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}={v}", c.name()));
+        }
+        if out.is_empty() {
+            out.push('—');
+        }
+        out
     }
 }
 
-/// Runs every experiment, in DESIGN.md order.
+/// Runs every experiment, in DESIGN.md order, with pipeline counters
+/// collected per experiment.
 pub fn all_experiments() -> Vec<Report> {
-    vec![
-        e1_simple_sums(),
-        e2_intro_naive(),
-        e3_simplification(),
-        e4_example1_tawbi(),
-        e5_example2_hp(),
-        e6_example3_hp(),
-        e7_example4_fst(),
-        e8_example5_sor(),
-        e9_example6_parity(),
-        e10_hpf_block_cyclic(),
-        e11_disjoint_splintering(),
-        e12_stencil_summaries(),
-        a1_redundancy_ablation(),
-        a2_order_ablation(),
-        a3_disjoint_vs_inclusion_exclusion(),
-        a4_exact_vs_approximate(),
-        a5_minmax_answer_form(),
-        a6_adaptive_bounds(),
-    ]
+    let fns: [fn() -> Report; 18] = [
+        e1_simple_sums,
+        e2_intro_naive,
+        e3_simplification,
+        e4_example1_tawbi,
+        e5_example2_hp,
+        e6_example3_hp,
+        e7_example4_fst,
+        e8_example5_sor,
+        e9_example6_parity,
+        e10_hpf_block_cyclic,
+        e11_disjoint_splintering,
+        e12_stencil_summaries,
+        a1_redundancy_ablation,
+        a2_order_ablation,
+        a3_disjoint_vs_inclusion_exclusion,
+        a4_exact_vs_approximate,
+        a5_minmax_answer_form,
+        a6_adaptive_bounds,
+    ];
+    fns.iter().map(|f| run_instrumented(*f)).collect()
+}
+
+/// Runs one experiment with counters enabled, recording wall time and
+/// the counter delta attributable to it.
+fn run_instrumented(f: fn() -> Report) -> Report {
+    let was_counting = trace::counting();
+    trace::enable_counters(true);
+    let before = trace::snapshot();
+    let t = Instant::now();
+    let mut r = f();
+    r.wall = t.elapsed();
+    r.counters = trace::snapshot().delta(&before);
+    trace::enable_counters(was_counting);
+    r
 }
 
 fn count(space: &Space, f: &Formula, vars: &[VarId]) -> Symbolic {
-    try_count_solutions(space, f, vars, &CountOptions::default())
-        .expect("experiment count failed")
+    try_count_solutions(space, f, vars, &CountOptions::default()).expect("experiment count failed")
 }
 
 /// E1 (§1 table): the four introductory sums.
@@ -98,7 +153,11 @@ pub fn e1_simple_sums() -> Report {
     let ok1 = c1.eval_i64(&[]) == Some(10);
 
     // Σ 1..n 1 = n if 1 ≤ n
-    let c2 = count(&s, &Formula::between(Affine::constant(1), i, Affine::var(n)), &[i]);
+    let c2 = count(
+        &s,
+        &Formula::between(Affine::constant(1), i, Affine::var(n)),
+        &[i],
+    );
     let ok2 = (0..=8i64).all(|nv| c2.eval_i64(&[("n", nv)]) == Some(nv.max(0)));
 
     // Σ over the square = n² if 1 ≤ n
@@ -122,9 +181,7 @@ pub fn e1_simple_sums() -> Report {
         "E1",
         "simple sums (§1 table)",
         "10; ⟨n | 1≤n⟩; ⟨n² | 1≤n⟩; ⟨n(n−1)/2 | 2≤n⟩",
-        format!(
-            "10={ok1}; n={ok2}; n²={ok3}; n(n−1)/2={ok4}"
-        ),
+        format!("10={ok1}; n={ok2}; n²={ok3}; n(n−1)/2={ok4}"),
         ok1 && ok2 && ok3 && ok4,
     )
 }
@@ -183,14 +240,13 @@ pub fn section26_formula(s: &mut Space) -> (Formula, VarId, VarId, VarId) {
             vec![i2, j],
             Formula::and(vec![
                 Formula::between(Affine::constant(1), i2, Affine::term(n, 2)),
-                Formula::between(
-                    Affine::constant(1),
-                    j,
-                    Affine::var(n) - Affine::constant(1),
-                ),
+                Formula::between(Affine::constant(1), j, Affine::var(n) - Affine::constant(1)),
                 Formula::lt(Affine::var(i), Affine::var(i2)),
                 Formula::eq(Affine::var(i2), Affine::var(ip)),
-                Formula::eq(Affine::term(j, 2) + Affine::constant(parity), Affine::var(i2)),
+                Formula::eq(
+                    Affine::term(j, 2) + Affine::constant(parity),
+                    Affine::var(i2),
+                ),
             ]),
         )
     };
@@ -219,9 +275,8 @@ pub fn e3_simplification() -> Report {
             for ipv in 0..=2 * nv + 1 {
                 let base = 1 <= iv && iv <= 2 * nv && iv == ipv;
                 let blocked = (1..=2 * nv).any(|i2v| {
-                    (1..=nv - 1).any(|jv| {
-                        iv < i2v && i2v == ipv && (2 * jv == i2v || 2 * jv + 1 == i2v)
-                    })
+                    (1..=nv - 1)
+                        .any(|jv| iv < i2v && i2v == ipv && (2 * jv == i2v || 2 * jv + 1 == i2v))
                 });
                 let expected = base && !blocked;
                 let got = d.contains_point(&s, &|v| {
@@ -374,7 +429,10 @@ pub fn e6_example3_hp() -> Report {
         "E6",
         "Example 3: min(i, 2n−i) triangle",
         "n² (guard 1 ≤ n); HP's derivation takes 15 steps",
-        format!("n² verified for n=0..8: {ok}; ours {} piece(s)", ours.num_pieces()),
+        format!(
+            "n² verified for n=0..8: {ok}; ours {} piece(s)",
+            ours.num_pieces()
+        ),
         ok,
     )
 }
@@ -394,7 +452,10 @@ pub fn e7_example4_fst() -> Report {
         "E7",
         "Example 4: coupled subscript footprint",
         "25 distinct locations; [FST91] cannot handle coupled subscripts",
-        format!("ours={got:?}; FST conservative fallback={fst_got:?} (exact={})", fst.exact),
+        format!(
+            "ours={got:?}; FST conservative fallback={fst_got:?} (exact={})",
+            fst.exact
+        ),
         got == Some(25) && fst_got == Some(40) && !fst.exact,
     )
 }
@@ -558,13 +619,7 @@ pub fn e12_stencil_summaries() -> Report {
     let mut s = Space::new();
     let d0 = s.var("d0");
     let d1 = s.var("d1");
-    let five = vec![
-        vec![0, 0],
-        vec![-1, 0],
-        vec![1, 0],
-        vec![0, -1],
-        vec![0, 1],
-    ];
+    let five = vec![vec![0, 0], vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
     let four = vec![vec![0, 0], vec![-1, 0], vec![0, -1], vec![1, 0]];
     let mut nine = Vec::new();
     for a in -1..=1 {
@@ -586,12 +641,7 @@ pub fn e12_stencil_summaries() -> Report {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            presburger_omega::dnf::project_wildcards(
-                &c,
-                &mut s2,
-                Shadow::ExactOverlapping,
-            )
-            .len()
+            presburger_omega::dnf::project_wildcards(&c, &mut s2, Shadow::ExactOverlapping).len()
         }));
         std::panic::set_hook(prev);
         out.ok()
@@ -630,8 +680,8 @@ pub fn a1_redundancy_ablation() -> Report {
     let mut agree = true;
     for nv in 0i64..=5 {
         for mv in 0i64..=5 {
-            agree &= with.eval_i64(&[("n", nv), ("m", mv)])
-                == without.eval_i64(&[("n", nv), ("m", mv)]);
+            agree &=
+                with.eval_i64(&[("n", nv), ("m", mv)]) == without.eval_i64(&[("n", nv), ("m", mv)]);
         }
     }
     let _ = n;
@@ -666,7 +716,8 @@ pub fn a2_order_ablation() -> Report {
         c.add_geq(Affine::from_terms(&[(n, 1), (vars[0], -1)], 0)); // v1 ≤ n
         for t in 1..depth - 1 {
             c.add_geq(Affine::from_terms(&[(vars[t], 1)], -1)); // 1 ≤ vt
-            c.add_geq(Affine::from_terms(&[(vars[t - 1], 1), (vars[t], -1)], 0)); // vt ≤ vt−1
+            c.add_geq(Affine::from_terms(&[(vars[t - 1], 1), (vars[t], -1)], 0));
+            // vt ≤ vt−1
         }
         c.add_geq(Affine::from_terms(
             &[(vars[depth - 1], 1), (vars[depth - 2], -1)],
@@ -902,7 +953,11 @@ mod tests {
     #[test]
     fn all_experiments_pass() {
         for r in all_experiments() {
-            assert!(r.pass, "{} {} failed: measured {}", r.id, r.title, r.measured);
+            assert!(
+                r.pass,
+                "{} {} failed: measured {}",
+                r.id, r.title, r.measured
+            );
         }
     }
 }

@@ -46,6 +46,7 @@ pub fn count_with_bounds(
     f: &Formula,
     vars: &[VarId],
 ) -> Result<(Symbolic, Symbolic), CountError> {
+    presburger_trace::bump(presburger_trace::Counter::AdaptiveBoundsPasses);
     let lower = try_count_solutions(
         space,
         f,
@@ -93,7 +94,16 @@ pub fn count_adaptive(
         }
     }
     let exact = if max_gap > rel_tol {
-        Some(try_count_solutions(space, f, vars, &CountOptions::default())?)
+        presburger_trace::bump(presburger_trace::Counter::AdaptiveExactFallbacks);
+        presburger_trace::explain(|| {
+            format!("bounds gap {max_gap:.3} > tolerance {rel_tol:.3}: exact fallback")
+        });
+        Some(try_count_solutions(
+            space,
+            f,
+            vars,
+            &CountOptions::default(),
+        )?)
     } else {
         None
     };

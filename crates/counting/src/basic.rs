@@ -62,7 +62,11 @@ pub fn basic_sum(p: u32, lower: &Affine, upper: &Affine, scratch: VarId) -> Guar
     }
     let f = power_sum(p, scratch);
     let f_at = |x: QPoly| f.substitute(scratch, &x);
-    let sign = if p.is_multiple_of(2) { Rat::one() } else { -Rat::one() };
+    let sign = if p.is_multiple_of(2) {
+        Rat::one()
+    } else {
+        -Rat::one()
+    };
     let u = QPoly::from_affine(upper);
     let l = QPoly::from_affine(lower);
     // (Σ 1≤i≤U) when U ≥ 1

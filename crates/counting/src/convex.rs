@@ -26,6 +26,7 @@ use presburger_omega::eliminate::{eliminate, Shadow};
 use presburger_omega::{Affine, Conjunct, VarId};
 use presburger_polyq::faulhaber::sum_powers;
 use presburger_polyq::{GuardedValue, QPoly};
+use presburger_trace::{self as trace, Counter};
 
 /// Sums `z` over the integer points of `c` in the variables `vars`.
 ///
@@ -49,14 +50,15 @@ pub(crate) fn sum_convex(
         if !presburger_omega::feasible::is_feasible(&c, ctx.space) {
             return Ok(GuardedValue::zero());
         }
+        trace::bump(Counter::ConvexLeafPieces);
+        trace::explain(|| format!("leaf piece: {}", c.to_string(ctx.space)));
         return Ok(GuardedValue::piece(c, z.clone()));
     }
     // Normalization can (re)introduce equalities on summation
     // variables — e.g. an opposite inequality pair collapsing to an
     // equality. Route those back through the projected transform.
     if vars.iter().any(|v| {
-        c.eqs().iter().any(|e| e.mentions(*v))
-            || c.strides().iter().any(|(_, e)| e.mentions(*v))
+        c.eqs().iter().any(|e| e.mentions(*v)) || c.strides().iter().any(|(_, e)| e.mentions(*v))
     }) {
         return sum_clause(&c, vars, z, ctx);
     }
@@ -72,6 +74,13 @@ pub(crate) fn sum_convex(
 
     // §4.4 step 2: pick a variable.
     let v = pick_variable(&c, vars, ctx)?;
+    trace::explain(|| {
+        format!(
+            "sum over {} (innermost of {} vars)",
+            ctx.space.name(v),
+            vars.len()
+        )
+    });
     let rest_vars: Vec<VarId> = vars.iter().copied().filter(|x| *x != v).collect();
 
     // If the summand's mod atoms mention v, the polynomial is only
@@ -168,7 +177,11 @@ pub(crate) fn sum_convex(
                 )
             };
             let inner = telescope(z, v, &lq, &uq);
-            let shadow = if upper_mode { Shadow::Real } else { Shadow::Dark };
+            let shadow = if upper_mode {
+                Shadow::Real
+            } else {
+                Shadow::Dark
+            };
             let guards = eliminate(&c, v, ctx.space, shadow);
             let mut acc = GuardedValue::zero();
             for g in guards.clauses {
@@ -191,8 +204,8 @@ fn pick_variable(c: &Conjunct, vars: &[VarId], ctx: &mut Ctx<'_>) -> Result<VarI
                 var: ctx.space.name(*v).to_string(),
             });
         }
-        let unit = lowers.iter().all(|b| b.coeff.is_one())
-            && uppers.iter().all(|b| b.coeff.is_one());
+        let unit =
+            lowers.iter().all(|b| b.coeff.is_one()) && uppers.iter().all(|b| b.coeff.is_one());
         let pairs = (lowers.len() * uppers.len()) as u64;
         let cost = pairs + if unit { 0 } else { 1000 };
         if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
@@ -271,6 +284,16 @@ fn split_bounds(
         if cl.is_false() {
             continue;
         }
+        trace::bump(Counter::ConvexSplitCases);
+        trace::explain(|| {
+            format!(
+                "case {i}: {} bound {} of {} is extremal for {}",
+                if upper { "upper" } else { "lower" },
+                i + 1,
+                bounds.len(),
+                ctx.space.name(v),
+            )
+        });
         acc.add(sum_convex(&cl, vars, z, ctx)?);
     }
     Ok(acc)
@@ -327,12 +350,7 @@ fn telescope_pieces(
 ) -> Vec<(Vec<Affine>, QPoly)> {
     let nonempty = alpha - beta; // α − β ≥ 0
     if !ctx.four_piece() {
-        let inner = telescope(
-            z,
-            v,
-            &QPoly::from_affine(beta),
-            &QPoly::from_affine(alpha),
-        );
+        let inner = telescope(z, v, &QPoly::from_affine(beta), &QPoly::from_affine(alpha));
         return vec![(vec![nonempty], inner)];
     }
     // §4.2: Σ_{i=L}^{U} iᵖ =
@@ -359,10 +377,12 @@ fn telescope_pieces(
             continue;
         }
         let p = p as u32;
-        let sign = if p.is_multiple_of(2) { Rat::one() } else { -Rat::one() };
-        let f_at = |x: &QPoly| {
-            presburger_polyq::faulhaber::power_sum(p, v).substitute(v, x)
+        let sign = if p.is_multiple_of(2) {
+            Rat::one()
+        } else {
+            -Rat::one()
         };
+        let f_at = |x: &QPoly| presburger_polyq::faulhaber::power_sum(p, v).substitute(v, x);
         let u = QPoly::from_affine(alpha);
         let l = QPoly::from_affine(beta);
         p1 = p1 + cp.clone() * f_at(&u);

@@ -21,6 +21,7 @@ pub fn sum_formula(
     space: &mut Space,
     opts: &CountOptions,
 ) -> Result<GuardedValue, CountError> {
+    let _span = presburger_trace::span("sum_formula");
     let dnf = simplify(f, space, &SimplifyOptions::disjoint());
     let mut acc = GuardedValue::zero();
     let mut ctx = Ctx::new(space, opts);
@@ -67,7 +68,12 @@ mod tests {
                 })
             };
             let got = v.eval(&s, &|_| Int::from(nv));
-            assert_eq!(got, Rat::from(expected as i64), "n={nv}: {}", v.to_string(&s));
+            assert_eq!(
+                got,
+                Rat::from(expected as i64),
+                "n={nv}: {}",
+                v.to_string(&s)
+            );
         }
     }
 
@@ -200,8 +206,14 @@ mod tests {
             Formula::between(Affine::var(i), j, Affine::var(m)),
         ]);
         let mut s2 = s.clone();
-        let v = sum_formula(&f, &[i, j], &QPoly::one(), &mut s2, &CountOptions::default())
-            .unwrap();
+        let v = sum_formula(
+            &f,
+            &[i, j],
+            &QPoly::one(),
+            &mut s2,
+            &CountOptions::default(),
+        )
+        .unwrap();
         for nv in -1i64..=6 {
             for mv in -1i64..=6 {
                 let mut brute = 0i64;

@@ -41,18 +41,18 @@ pub struct MinMaxSum {
 /// Returns [`CountError::TooComplex`] if a bound has a non-unit
 /// coefficient on `v`, and [`CountError::Unbounded`] if `v` lacks a
 /// lower or upper bound.
-pub fn sum_var_minmax(
-    c: &Conjunct,
-    v: VarId,
-    coeffs: &[MExpr],
-) -> Result<MinMaxSum, CountError> {
+pub fn sum_var_minmax(c: &Conjunct, v: VarId, coeffs: &[MExpr]) -> Result<MinMaxSum, CountError> {
     let (lowers, uppers, _) = c.bounds_on(v);
     if lowers.is_empty() || uppers.is_empty() {
         return Err(CountError::Unbounded {
             var: format!("v{}", v.index()),
         });
     }
-    if lowers.iter().chain(uppers.iter()).any(|b| !b.coeff.is_one()) {
+    if lowers
+        .iter()
+        .chain(uppers.iter())
+        .any(|b| !b.coeff.is_one())
+    {
         return Err(CountError::TooComplex(
             "min/max summation requires unit bound coefficients".to_string(),
         ));
@@ -203,12 +203,7 @@ mod tests {
         let mm = sum_var_minmax(&c, x, &[MExpr::int(0), MExpr::int(1)]).unwrap();
         // guarded form via the exact engine
         let f = c.to_formula();
-        let exact = crate::sum_polynomial(
-            &s,
-            &f,
-            &[x],
-            &presburger_polyq::QPoly::var(x),
-        );
+        let exact = crate::sum_polynomial(&s, &f, &[x], &presburger_polyq::QPoly::var(x));
         // both agree numerically…
         for nv in 0i64..=6 {
             for mv in 0i64..=6 {
@@ -216,7 +211,8 @@ mod tests {
                 let hi = nv.min(mv);
                 let brute: i64 = (lo..=hi).sum();
                 assert_eq!(
-                    mm.expr.eval(&|w| if w == n { Int::from(nv) } else { Int::from(mv) }),
+                    mm.expr
+                        .eval(&|w| if w == n { Int::from(nv) } else { Int::from(mv) }),
                     Rat::from(brute)
                 );
                 assert_eq!(exact.eval_i64(&[("n", nv), ("m", mv)]), Some(brute));

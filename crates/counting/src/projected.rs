@@ -76,6 +76,7 @@ pub(crate) fn sum_clause(
     ctx: &mut Ctx<'_>,
 ) -> Result<GuardedValue, CountError> {
     ctx.spend()?;
+    let _span = presburger_trace::span("sum_clause");
     let mut c = c.clone();
     c.normalize();
     if c.is_false() || z.is_zero() {
@@ -136,9 +137,7 @@ pub(crate) fn sum_clause(
     }
     // split equalities into those touching summation vars / params and
     // pure symbol guards
-    let relevant = |e: &Affine| {
-        e.mentions_any(vars) || e.mentions_any(&stride_params)
-    };
+    let relevant = |e: &Affine| e.mentions_any(vars) || e.mentions_any(&stride_params);
     let mut sys: Vec<Affine> = Vec::new();
     for e in eqs {
         if relevant(&e) {

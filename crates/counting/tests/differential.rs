@@ -3,9 +3,7 @@
 //! polynomial summands — all validated against brute force.
 
 use presburger_arith::{Int, Rat};
-use presburger_counting::{
-    enumerate, try_count_solutions, try_sum_polynomial, CountOptions,
-};
+use presburger_counting::{enumerate, try_count_solutions, try_sum_polynomial, CountOptions};
 use presburger_omega::{Affine, Formula, Space, VarId};
 use presburger_polyq::QPoly;
 use proptest::prelude::*;
@@ -21,12 +19,7 @@ fn check_against_brute(
         .map_err(|e| TestCaseError::fail(format!("count failed: {e}")))?;
     for nv in ns {
         let brute = enumerate::count_formula(f, vars, brute_range.clone(), &|_| Int::from(nv));
-        prop_assert_eq!(
-            sym.eval_i64(&[("n", nv)]),
-            Some(brute as i64),
-            "n={}",
-            nv
-        );
+        prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
     }
     Ok(())
 }

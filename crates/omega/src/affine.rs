@@ -362,7 +362,10 @@ mod tests {
     fn display() {
         let (s, x, y) = setup();
         assert_eq!(Affine::constant(0).to_string(&s), "0");
-        assert_eq!(Affine::from_terms(&[(x, 1), (y, -2)], -7).to_string(&s), "x - 2y - 7");
+        assert_eq!(
+            Affine::from_terms(&[(x, 1), (y, -2)], -7).to_string(&s),
+            "x - 2y - 7"
+        );
         assert_eq!(Affine::from_terms(&[(x, -1)], 0).to_string(&s), "-x");
     }
 }

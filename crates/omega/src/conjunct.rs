@@ -82,7 +82,10 @@ impl Conjunct {
 
     /// Returns `true` if the conjunct has no constraints at all.
     pub fn is_trivially_true(&self) -> bool {
-        !self.contradiction && self.eqs.is_empty() && self.geqs.is_empty() && self.strides.is_empty()
+        !self.contradiction
+            && self.eqs.is_empty()
+            && self.geqs.is_empty()
+            && self.strides.is_empty()
     }
 
     /// Adds the constraint `e == 0`.
@@ -249,10 +252,7 @@ impl Conjunct {
                 *e = e.div_exact(&g);
             }
             // canonical sign: first (lowest VarId) coefficient positive
-            let flip = e
-                .iter()
-                .next()
-                .is_some_and(|(_, c)| c.is_negative());
+            let flip = e.iter().next().is_some_and(|(_, c)| c.is_negative());
             if flip {
                 *e = -&*e;
             }
@@ -391,11 +391,7 @@ impl Conjunct {
                 .filter(|w| {
                     let in_eq = self.eqs.iter().any(|e| e.mentions(*w));
                     let in_geq = self.geqs.iter().any(|e| e.mentions(*w));
-                    let n_strides = self
-                        .strides
-                        .iter()
-                        .filter(|(_, e)| e.mentions(*w))
-                        .count();
+                    let n_strides = self.strides.iter().filter(|(_, e)| e.mentions(*w)).count();
                     !in_eq && !in_geq && n_strides == 1
                 })
                 .collect();
@@ -539,12 +535,16 @@ impl Conjunct {
 fn cmp_affine(a: &Affine, b: &Affine) -> std::cmp::Ordering {
     let av: Vec<(VarId, Int)> = a.iter().map(|(v, c)| (v, c.clone())).collect();
     let bv: Vec<(VarId, Int)> = b.iter().map(|(v, c)| (v, c.clone())).collect();
-    av.cmp(&bv).then_with(|| a.constant_term().cmp(b.constant_term()))
+    av.cmp(&bv)
+        .then_with(|| a.constant_term().cmp(b.constant_term()))
 }
 
 /// Same variable part (coefficients), possibly different constants.
 fn same_slope(a: &Affine, b: &Affine) -> bool {
-    a.num_vars() == b.num_vars() && a.iter().zip(b.iter()).all(|((v1, c1), (v2, c2))| v1 == v2 && c1 == c2)
+    a.num_vars() == b.num_vars()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((v1, c1), (v2, c2))| v1 == v2 && c1 == c2)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use crate::space::Space;
 /// Converts a list of possibly-overlapping clauses into an equivalent
 /// list of pairwise-disjoint clauses.
 pub fn make_disjoint(clauses: Vec<Conjunct>, space: &mut Space) -> Vec<Conjunct> {
+    let _span = presburger_trace::span("make_disjoint");
     let clauses = prune_subsets(clauses, space);
     let mut out = Vec::new();
     let mut fuel = 500usize;
@@ -101,8 +102,7 @@ fn disjoint_component(
         }
         // §5.3 step 3: pick an articulation point if one exists,
         // otherwise the clause with the fewest constraints.
-        let pick = articulation_point(&adj)
-            .unwrap_or_else(|| fewest_constraints(&clauses));
+        let pick = articulation_point(&adj).unwrap_or_else(|| fewest_constraints(&clauses));
         let c1 = clauses.remove(pick);
         // C₁ goes straight to the output; the rest become ¬C₁ ∧ Cⱼ.
         let mut rest = Vec::new();

@@ -17,6 +17,7 @@ use crate::formula::{Constraint, Formula};
 use crate::redundant::{add_negated_stride, implies, remove_redundant};
 use crate::space::{Space, VarId};
 use presburger_arith::Int;
+use presburger_trace::{self as trace, Counter};
 
 /// A formula in disjunctive normal form: the union of its clauses.
 #[derive(Clone, Debug, Default)]
@@ -101,7 +102,9 @@ impl SimplifyOptions {
 
 /// Simplifies an arbitrary Presburger formula to DNF (§2.6).
 pub fn simplify(f: &Formula, space: &mut Space, opts: &SimplifyOptions) -> Dnf {
+    let _span = trace::span("simplify");
     let mut clauses = to_dnf(f, space);
+    trace::add(Counter::DnfClausesIn, clauses.len() as u64);
     // clean each clause
     let mut kept = Vec::new();
     for mut c in clauses.drain(..) {
@@ -120,8 +123,12 @@ pub fn simplify(f: &Formula, space: &mut Space, opts: &SimplifyOptions) -> Dnf {
     if opts.subset_pruning {
         kept = prune_subsets(kept, space);
     }
+    trace::add(Counter::DnfClausesClean, kept.len() as u64);
+    trace::explain(|| format!("DNF cleanup: {} clause(s) kept", kept.len()));
     if opts.disjoint {
         let disjoint = crate::disjoint::make_disjoint(kept, space);
+        trace::add(Counter::DnfClausesDisjoint, disjoint.len() as u64);
+        trace::explain(|| format!("disjoint DNF: {} clause(s)", disjoint.len()));
         Dnf {
             clauses: disjoint,
             disjoint: true,
@@ -371,8 +378,7 @@ pub fn project_wildcards(c: &Conjunct, space: &mut Space, mode: Shadow) -> Vec<C
         }
         // wildcard in several strides (and nowhere else): convert the
         // strides to equalities so the equality solver can merge them
-        if c
-            .wildcards()
+        if c.wildcards()
             .iter()
             .any(|w| c.strides().iter().filter(|(_, e)| e.mentions(*w)).count() >= 2)
         {
@@ -512,7 +518,7 @@ mod tests {
         let q = Formula::between(Affine::constant(0), x, Affine::constant(10));
         assert!(formula_implies(&p, &q, &mut s));
         assert!(!formula_implies(&q, &p, &mut s)); // odd x break it
-        // equivalence: the two stride representations of "even in 0..10"
+                                                   // equivalence: the two stride representations of "even in 0..10"
         let r = Formula::and(vec![
             Formula::between(Affine::constant(0), x, Affine::constant(10)),
             Formula::stride(2, Affine::var(x)),
@@ -559,7 +565,11 @@ mod tests {
                 vec![i2, j],
                 Formula::and(vec![
                     Formula::between(Affine::constant(1), i2, Affine::term(n, 2)),
-                    Formula::between(Affine::constant(1), j, Affine::term(n, 1) - Affine::constant(1)),
+                    Formula::between(
+                        Affine::constant(1),
+                        j,
+                        Affine::term(n, 1) - Affine::constant(1),
+                    ),
                     Formula::lt(Affine::var(i), Affine::var(i2)),
                     Formula::eq(Affine::var(i2), Affine::var(ip)),
                     Formula::eq(

@@ -25,6 +25,7 @@ use crate::conjunct::{Bound, Conjunct};
 use crate::eqelim::eliminate_via_equality;
 use crate::space::{Space, VarId};
 use presburger_arith::Int;
+use presburger_trace::{self as trace, Counter};
 
 /// How to approximate (or not) when eliminating an integer variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +79,8 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
         }
     }
     if let Some(idx) = c.eqs().iter().position(|e| e.mentions(v)) {
+        trace::bump(Counter::EliminateViaEquality);
+        trace::explain(|| format!("eliminate {} via equality", space.name(v)));
         let r = eliminate_via_equality(&c, v, idx);
         let clauses = if r.is_false() { vec![] } else { vec![r] };
         return Eliminated {
@@ -108,19 +111,27 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
         };
     }
 
-    let all_exact = lowers
-        .iter()
-        .all(|l| l.coeff.is_one())
-        || uppers.iter().all(|u| u.coeff.is_one());
+    let all_exact =
+        lowers.iter().all(|l| l.coeff.is_one()) || uppers.iter().all(|u| u.coeff.is_one());
     // pairwise exactness is what actually matters
-    let pair_exact = lowers.iter().all(|l| {
-        uppers
-            .iter()
-            .all(|u| l.coeff.is_one() || u.coeff.is_one())
-    });
+    let pair_exact = lowers
+        .iter()
+        .all(|l| uppers.iter().all(|u| l.coeff.is_one() || u.coeff.is_one()));
     let _ = all_exact;
 
     if pair_exact || mode == Shadow::Real {
+        trace::bump(Counter::EliminateReal);
+        trace::explain(|| {
+            format!(
+                "eliminate {}: real shadow{}",
+                space.name(v),
+                if pair_exact {
+                    " (exact)"
+                } else {
+                    " (over-approx)"
+                }
+            )
+        });
         let mut r = base_without(&c, v);
         add_shadow(&mut r, &lowers, &uppers, false);
         r.normalize();
@@ -131,6 +142,8 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
         };
     }
     if mode == Shadow::Dark {
+        trace::bump(Counter::EliminateDark);
+        trace::explain(|| format!("eliminate {}: dark shadow (under-approx)", space.name(v)));
         let mut r = base_without(&c, v);
         add_shadow(&mut r, &lowers, &uppers, true);
         r.normalize();
@@ -143,11 +156,17 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
 
     match mode {
         Shadow::ExactOverlapping => {
+            trace::bump(Counter::EliminateExactOverlapping);
+            let _span = trace::span_dyn(|| {
+                format!("eliminate {} (exact, overlapping splinters)", space.name(v))
+            });
             let mut clauses = Vec::new();
             let mut dark = base_without(&c, v);
             add_shadow(&mut dark, &lowers, &uppers, true);
             dark.normalize();
             if !dark.is_false() {
+                trace::bump(Counter::DarkShadowClauses);
+                trace::explain(|| format!("dark shadow: {}", dark.to_string(space)));
                 clauses.push(dark);
             }
             // Splinters (Figure 1, left): for each lower bound β ≤ b·v,
@@ -161,6 +180,7 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     .div_floor(&amax);
                 let mut i = Int::zero();
                 while i <= top {
+                    trace::bump(Counter::SplintersGenerated);
                     let mut s = c.clone();
                     // b·v - β - i = 0
                     let mut eq = l.expr.clone();
@@ -169,6 +189,7 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     eq.add_constant(&-i.clone());
                     s.add_eq(eq);
                     s.normalize();
+                    let mut kept = false;
                     if !s.is_false() {
                         let idx = s
                             .eqs()
@@ -177,8 +198,20 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                             .expect("splinter equality must mention v");
                         let r = eliminate_via_equality(&s, v, idx);
                         if !r.is_false() {
+                            trace::explain(|| {
+                                format!(
+                                    "splinter {}·{} = β + {i}: {}",
+                                    l.coeff,
+                                    space.name(v),
+                                    r.to_string(space)
+                                )
+                            });
                             clauses.push(r);
+                            kept = true;
                         }
+                    }
+                    if !kept {
+                        trace::bump(Counter::SplintersPruned);
                     }
                     i += &Int::one();
                 }
@@ -193,11 +226,17 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
             // §5.2: partition the projected space by the first
             // lower×upper pair whose dark-shadow constraint fails, and
             // within it by the (constant) value of b·α − a·β.
+            trace::bump(Counter::EliminateExactDisjoint);
+            let _span = trace::span_dyn(|| {
+                format!("eliminate {} (exact, disjoint splinters)", space.name(v))
+            });
             let mut clauses = Vec::new();
             let mut dark = base_without(&c, v);
             add_shadow(&mut dark, &lowers, &uppers, true);
             dark.normalize();
             if !dark.is_false() {
+                trace::bump(Counter::DarkShadowClauses);
+                trace::explain(|| format!("dark shadow: {}", dark.to_string(space)));
                 clauses.push(dark);
             }
             let mut pairs = Vec::new();
@@ -229,19 +268,31 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     // so a·b·v = a·β + j for exactly one j in 0..=i.
                     let mut j = Int::zero();
                     while j <= i {
+                        trace::bump(Counter::SplintersGenerated);
                         let mut s = region.clone();
                         let mut eqv = -&abeta;
                         eqv.set_coeff(v, &l.coeff * &u.coeff);
                         eqv.add_constant(&-j.clone());
                         s.add_eq(eqv);
                         s.normalize();
+                        let mut kept = false;
                         if !s.is_false() {
                             if let Some(idx) = s.eqs().iter().position(|e| e.mentions(v)) {
                                 let r = eliminate_via_equality(&s, v, idx);
                                 if !r.is_false() {
+                                    trace::explain(|| {
+                                        format!(
+                                            "splinter (pair {k}, offset {j}): {}",
+                                            r.to_string(space)
+                                        )
+                                    });
                                     clauses.push(r);
+                                    kept = true;
                                 }
                             }
+                        }
+                        if !kept {
+                            trace::bump(Counter::SplintersPruned);
                         }
                         j += &Int::one();
                     }
@@ -318,9 +369,8 @@ mod tests {
     /// Ground truth: does an integer v in [-100, 100] satisfy all the
     /// constraints of `c` once the other variables are fixed?
     fn exists_v(c: &Conjunct, space: &Space, v: VarId, assign: &dyn Fn(VarId) -> Int) -> bool {
-        (-100i64..=100).any(|vv| {
-            c.contains_point(space, &|x| if x == v { Int::from(vv) } else { assign(x) })
-        })
+        (-100i64..=100)
+            .any(|vv| c.contains_point(space, &|x| if x == v { Int::from(vv) } else { assign(x) }))
     }
 
     fn check_elimination(c: &Conjunct, space: &mut Space, v: VarId, free: VarId, mode: Shadow) {
@@ -332,10 +382,7 @@ mod tests {
                 Int::from(fv)
             };
             let expected = exists_v(c, space, v, &assign);
-            let got = r
-                .clauses
-                .iter()
-                .any(|cl| cl.contains_point(space, &assign));
+            let got = r.clauses.iter().any(|cl| cl.contains_point(space, &assign));
             assert_eq!(got, expected, "mode {mode:?}, {}={fv}", space.name(free));
             if mode == Shadow::ExactDisjoint {
                 let hits = r
@@ -384,7 +431,10 @@ mod tests {
         // every dark-shadow point must have an integer β
         for av in -5i64..=40 {
             let assign = |_x: VarId| Int::from(av);
-            let in_dark = r.clauses.iter().any(|cl| cl.contains_point(&space, &assign));
+            let in_dark = r
+                .clauses
+                .iter()
+                .any(|cl| cl.contains_point(&space, &assign));
             if in_dark {
                 assert!(exists_v(&c, &space, beta, &assign), "alpha={av}");
             }
@@ -409,7 +459,9 @@ mod tests {
             let assign = |_x: VarId| Int::from(av);
             if exists_v(&c, &space, beta, &assign) {
                 assert!(
-                    r.clauses.iter().any(|cl| cl.contains_point(&space, &assign)),
+                    r.clauses
+                        .iter()
+                        .any(|cl| cl.contains_point(&space, &assign)),
                     "real shadow must contain alpha={av}"
                 );
             }

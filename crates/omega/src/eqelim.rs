@@ -134,11 +134,10 @@ pub fn solve_wildcard_equalities(c: &mut Conjunct, space: &mut crate::space::Spa
         }
         // (c) an equality whose wildcards all occur only in it:
         //     ∃w̄ : Σ aᵢwᵢ + S = 0  ⇔  gcd(aᵢ) | S.
-        let lone_eq = c.eqs().iter().position(|e| {
-            c.wildcards()
-                .iter()
-                .any(|w| e.mentions(*w))
-        });
+        let lone_eq = c
+            .eqs()
+            .iter()
+            .position(|e| c.wildcards().iter().any(|w| e.mentions(*w)));
         if let Some(idx) = lone_eq {
             // every wildcard here has occurrence count 1 (cases a/b failed)
             let e = c.eqs()[idx].clone();

@@ -25,6 +25,7 @@ use crate::space::{Space, VarId};
 /// assert!(is_feasible(&c, &mut s)); // x = 2
 /// ```
 pub fn is_feasible(c: &Conjunct, space: &mut Space) -> bool {
+    presburger_trace::bump(presburger_trace::Counter::FeasibilityChecks);
     let mut work: Vec<Conjunct> = vec![c.clone()];
     let mut fuel: usize = 200_000;
     while let Some(mut c) = work.pop() {
@@ -63,8 +64,8 @@ fn pick_variable(c: &Conjunct, vars: &[VarId]) -> VarId {
     for v in vars {
         let (lowers, uppers, _) = c.bounds_on(*v);
         let in_stride = c.strides().iter().any(|(_, e)| e.mentions(*v));
-        let exact = lowers.iter().all(|l| l.coeff.is_one())
-            || uppers.iter().all(|u| u.coeff.is_one());
+        let exact =
+            lowers.iter().all(|l| l.coeff.is_one()) || uppers.iter().all(|u| u.coeff.is_one());
         let pairs = (lowers.len() * uppers.len()) as u64;
         // crude cost model: exact eliminations are much cheaper;
         // strides force a conversion first.

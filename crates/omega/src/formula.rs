@@ -231,11 +231,7 @@ impl Formula {
         out
     }
 
-    fn collect_free(
-        &self,
-        bound: &mut Vec<VarId>,
-        out: &mut std::collections::BTreeSet<VarId>,
-    ) {
+    fn collect_free(&self, bound: &mut Vec<VarId>, out: &mut std::collections::BTreeSet<VarId>) {
         match self {
             Formula::True | Formula::False => {}
             Formula::Atom(c) => {
@@ -415,8 +411,14 @@ mod tests {
 
     #[test]
     fn builders_fold_constants() {
-        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
-        assert_eq!(Formula::and(vec![Formula::False, Formula::True]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::True]),
+            Formula::True
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::False, Formula::True]),
+            Formula::False
+        );
         assert_eq!(Formula::or(vec![Formula::False]), Formula::False);
         assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
     }
@@ -451,10 +453,7 @@ mod tests {
         let mut s = Space::new();
         let x = s.var("x");
         let y = s.var("y");
-        let f = Formula::exists(
-            vec![y],
-            Formula::eq(Affine::var(x), Affine::var(y)),
-        );
+        let f = Formula::exists(vec![y], Formula::eq(Affine::var(x), Affine::var(y)));
         let fv = f.free_vars();
         assert!(fv.contains(&x));
         assert!(!fv.contains(&y));

@@ -41,7 +41,10 @@ pub struct OffsetSummary {
 pub fn summarize_offsets(points: &[Vec<i64>], vars: &[VarId]) -> OffsetSummary {
     assert!(!points.is_empty(), "cannot summarize zero offsets");
     let d = vars.len();
-    assert!((1..=3).contains(&d), "offset summarization supports 1-3 dims");
+    assert!(
+        (1..=3).contains(&d),
+        "offset summarization supports 1-3 dims"
+    );
     assert!(
         points.iter().all(|p| p.len() == d),
         "offset dimension mismatch"
@@ -68,8 +71,7 @@ pub fn summarize_offsets(points: &[Vec<i64>], vars: &[VarId]) -> OffsetSummary {
                 m[(i, j)] = Int::from(p[j] - p0[j]);
             }
         }
-        if let Some(sol) =
-            presburger_arith::smith::solve_diophantine(&m, &vec![Int::zero(); rows])
+        if let Some(sol) = presburger_arith::smith::solve_diophantine(&m, &vec![Int::zero(); rows])
         {
             // kernel vectors u of the difference matrix: u ⊥ every edge
             for k in 0..sol.basis.cols() {
@@ -187,14 +189,9 @@ fn add_strides(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId]) {
     }
     // per coordinate
     for j in 0..d {
-        let g = points
-            .iter()
-            .fold(0i64, |acc, p| gcd64(acc, p[j] - p0[j]));
+        let g = points.iter().fold(0i64, |acc, p| gcd64(acc, p[j] - p0[j]));
         if g >= 2 {
-            c.add_stride(
-                Int::from(g),
-                Affine::from_terms(&[(vars[j], 1)], -p0[j]),
-            );
+            c.add_stride(Int::from(g), Affine::from_terms(&[(vars[j], 1)], -p0[j]));
         }
     }
     // per coordinate difference (the paper's "difference of the first
@@ -229,9 +226,10 @@ fn count_box_points(c: &Conjunct, points: &[Vec<i64>], vars: &[VarId]) -> u64 {
     let mut cur = lo.clone();
     'outer: loop {
         let sat = c.eqs().iter().all(|e| eval_at(e, vars, &cur).is_zero())
-            && c.geqs().iter().all(|e| !eval_at(e, vars, &cur).is_negative())
-            && c
-                .strides()
+            && c.geqs()
+                .iter()
+                .all(|e| !eval_at(e, vars, &cur).is_negative())
+            && c.strides()
                 .iter()
                 .all(|(m, e)| m.divides(&eval_at(e, vars, &cur)));
         if sat {
@@ -306,13 +304,7 @@ mod tests {
         // {(0,0), (-1,0), (1,0), (0,-1), (0,1)} — the SOR stencil (§5.1)
         let mut s = Space::new();
         let v = vars(&mut s, 2);
-        let pts = vec![
-            vec![0, 0],
-            vec![-1, 0],
-            vec![1, 0],
-            vec![0, -1],
-            vec![0, 1],
-        ];
+        let pts = vec![vec![0, 0], vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
         let sum = summarize_offsets(&pts, &v);
         assert!(sum.exact, "5-point stencil must be exact: {:?}", sum);
         assert_eq!(sum.point_count, 5);
@@ -411,12 +403,7 @@ mod tests {
         // unit tetrahedron corners: 4 lattice points, exact
         let mut s = Space::new();
         let v = vars(&mut s, 3);
-        let pts = vec![
-            vec![0, 0, 0],
-            vec![1, 0, 0],
-            vec![0, 1, 0],
-            vec![0, 0, 1],
-        ];
+        let pts = vec![vec![0, 0, 0], vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
         let sum = summarize_offsets(&pts, &v);
         assert!(sum.exact);
         assert_eq!(sum.point_count, 4);

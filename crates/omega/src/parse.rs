@@ -210,14 +210,10 @@ impl<'a> Parser<'a> {
         let first = self.expr()?;
         // stride: INT '|' expr (but not '||')
         self.skip_ws();
-        if self.input[self.pos..].starts_with(b"|") && !self.input[self.pos..].starts_with(b"||")
-        {
+        if self.input[self.pos..].starts_with(b"|") && !self.input[self.pos..].starts_with(b"||") {
             self.pos += 1;
             let e = self.expr()?;
-            let m = first
-                .clone()
-                .constant_term()
-                .clone();
+            let m = first.clone().constant_term().clone();
             if !first.is_constant() || !m.is_positive() {
                 return Err(self.error("stride modulus must be a positive integer"));
             }
@@ -297,10 +293,7 @@ impl<'a> Parser<'a> {
                     .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_');
                 let explicit = self.eat("*");
                 match self.peek() {
-                    Some(c)
-                        if (explicit || adjacent)
-                            && (c.is_ascii_alphabetic() || c == b'_') =>
-                    {
+                    Some(c) if (explicit || adjacent) && (c.is_ascii_alphabetic() || c == b'_') => {
                         let v = self.name()?;
                         Ok(Affine::zero().add_scaled(&Affine::var(v), &k))
                     }

@@ -12,6 +12,7 @@ use crate::conjunct::Conjunct;
 use crate::feasible::is_feasible;
 use crate::space::Space;
 use presburger_arith::Int;
+use presburger_trace::{self as trace, Counter};
 
 /// Removes every inequality of `c` that is implied by the remaining
 /// constraints (§2.3). Returns the slimmed conjunct, or a contradiction
@@ -37,6 +38,7 @@ pub fn remove_redundant(c: &Conjunct, space: &mut Space) -> Conjunct {
     let mut i = 0;
     while i < c.geqs().len() {
         if definitely_not_redundant(&c, i) {
+            trace::bump(Counter::RedundantFastSkips);
             i += 1;
             continue;
         }
@@ -48,6 +50,8 @@ pub fn remove_redundant(c: &Conjunct, space: &mut Space) -> Conjunct {
         ne.add_constant(&Int::from(-1));
         neg.add_geq(ne);
         if !is_feasible(&neg, space) {
+            trace::bump(Counter::RedundantRemovedComplete);
+            trace::explain(|| format!("redundant (complete test): {} ≥ 0", e.to_string(space)));
             c = trial; // e was redundant
         } else {
             i += 1;
@@ -91,6 +95,7 @@ fn definitely_not_redundant(c: &Conjunct, idx: usize) -> bool {
 /// Wildcards of `q` are treated as free variables here (sound: it only
 /// makes the "given" information weaker).
 pub fn gist(p: &Conjunct, q: &Conjunct, space: &mut Space) -> Conjunct {
+    trace::bump(Counter::GistCalls);
     let mut combined = p.clone();
     combined.and(q);
     combined.normalize();

@@ -130,10 +130,7 @@ mod roundtrip {
     use proptest::prelude::*;
 
     /// Builds a random small formula over x, y, n.
-    fn random_formula(
-        s: &mut Space,
-        spec: &[(u8, i64, i64, i64, i64)],
-    ) -> Formula {
+    fn random_formula(s: &mut Space, spec: &[(u8, i64, i64, i64, i64)]) -> Formula {
         let x = s.var("x");
         let y = s.var("y");
         let n = s.var("n");

@@ -97,8 +97,7 @@ fn two_dimensional_family() {
     let after = make_disjoint(family.clone(), &mut s);
     for xv in -1i64..=9 {
         for yv in -1i64..=9 {
-            let assign =
-                |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
+            let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
             let was = family.iter().any(|c| c.contains_point(&s, &assign));
             let hits = after
                 .iter()
@@ -131,8 +130,7 @@ fn diagonal_strips() {
     let after = make_disjoint(family.clone(), &mut s);
     for xv in -6i64..=6 {
         for yv in -6i64..=6 {
-            let assign =
-                |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
+            let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
             let was = family.iter().any(|c| c.contains_point(&s, &assign));
             let hits = after
                 .iter()

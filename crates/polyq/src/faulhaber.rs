@@ -88,6 +88,13 @@ pub fn power_sum(p: u32, v: VarId) -> QPoly {
 /// The result is correct whenever `L ≤ U` (the caller guards the sum);
 /// bounds may be arbitrary polynomials (e.g. containing mod atoms).
 pub fn sum_powers(p: u32, lower: &QPoly, upper: &QPoly, scratch: VarId) -> QPoly {
+    presburger_trace::bump(match p {
+        0 => presburger_trace::Counter::FaulhaberDeg0,
+        1 => presburger_trace::Counter::FaulhaberDeg1,
+        2 => presburger_trace::Counter::FaulhaberDeg2,
+        3 => presburger_trace::Counter::FaulhaberDeg3,
+        _ => presburger_trace::Counter::FaulhaberDegHi,
+    });
     let f = power_sum(p, scratch);
     let at_upper = f.substitute(scratch, upper);
     let lm1 = lower.clone() - QPoly::one();
@@ -116,8 +123,8 @@ mod tests {
         let n = s.var("n");
         // F_1(n) = n(n+1)/2
         let f1 = power_sum(1, n);
-        let expect =
-            (QPoly::var(n) * (QPoly::var(n) + QPoly::one())).scale(&Rat::new(Int::one(), Int::from(2)));
+        let expect = (QPoly::var(n) * (QPoly::var(n) + QPoly::one()))
+            .scale(&Rat::new(Int::one(), Int::from(2)));
         assert_eq!(f1, expect);
         // F_3(10) = (55)^2 = 3025
         let f3 = power_sum(3, n);

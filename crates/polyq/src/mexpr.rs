@@ -155,10 +155,7 @@ mod tests {
 
     #[test]
     fn metrics_and_eval() {
-        let e = MExpr::min2(
-            MExpr::int(3),
-            MExpr::max2(MExpr::int(1), MExpr::int(2)),
-        );
+        let e = MExpr::min2(MExpr::int(3), MExpr::max2(MExpr::int(1), MExpr::int(2)));
         assert_eq!(e.minmax_count(), 2);
         assert_eq!(e.size(), 5);
         assert_eq!(e.eval(&|_| Int::zero()), Rat::from(2));

@@ -107,11 +107,7 @@ impl QPoly {
             return QPoly::zero();
         }
         QPoly {
-            terms: self
-                .terms
-                .iter()
-                .map(|(m, c)| (m.clone(), c * k))
-                .collect(),
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), c * k)).collect(),
         }
     }
 
@@ -136,9 +132,7 @@ impl QPoly {
     /// Returns `true` if `v` occurs anywhere — as a variable atom or
     /// inside a mod atom.
     pub fn mentions(&self, v: VarId) -> bool {
-        self.terms
-            .keys()
-            .any(|m| m.keys().any(|a| a.mentions(v)))
+        self.terms.keys().any(|m| m.keys().any(|a| a.mentions(v)))
     }
 
     /// All variables mentioned (including inside mod atoms).
@@ -488,7 +482,10 @@ mod tests {
     fn constant_detection() {
         let (_, n, _) = setup();
         assert_eq!(QPoly::zero().as_constant(), Some(Rat::zero()));
-        assert_eq!(QPoly::constant(Rat::from(7)).as_constant(), Some(Rat::from(7)));
+        assert_eq!(
+            QPoly::constant(Rat::from(7)).as_constant(),
+            Some(Rat::from(7))
+        );
         assert_eq!(QPoly::var(n).as_constant(), None);
     }
 

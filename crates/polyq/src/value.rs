@@ -179,7 +179,9 @@ impl GuardedValue {
 
     /// Like [`GuardedValue::eval_named`] but requiring an integer.
     pub fn eval_i64(&self, space: &Space, bindings: &[(&str, i64)]) -> Option<i64> {
-        self.eval_named(space, bindings).to_int().and_then(|i| i.to_i64())
+        self.eval_named(space, bindings)
+            .to_int()
+            .and_then(|i| i.to_i64())
     }
 
     /// Renders the value in the paper's notation:

@@ -1,0 +1,128 @@
+//! A hand-rolled JSON writer (the workspace has a no-external-deps
+//! policy, so no serde). Only what the trace output needs: objects,
+//! arrays, strings with escaping, integers, and floats.
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incrementally builds one JSON object.
+#[derive(Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(&escape(name));
+        self.body.push_str("\":");
+    }
+
+    /// Adds `"name": 123`.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds `"name": 1.25` (non-finite values become `null`).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            self.body.push_str(&format!("{value}"));
+        } else {
+            self.body.push_str("null");
+        }
+        self
+    }
+
+    /// Adds `"name": true`.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds `"name": "escaped value"`.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.body.push('"');
+        self.body.push_str(&escape(value));
+        self.body.push('"');
+        self
+    }
+
+    /// Adds `"name": <value>` where `value` is already valid JSON.
+    pub fn field_raw(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.body.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns it.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Joins already-serialized JSON values into an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut body = String::new();
+    for item in items {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        body.push_str(&item);
+    }
+    format!("[{body}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_building() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "x\"y");
+        o.field_u64("n", 7);
+        o.field_f64("t", 1.5);
+        o.field_bool("ok", true);
+        o.field_raw("list", &array(vec!["1".into(), "2".into()]));
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"x\"y","n":7,"t":1.5,"ok":true,"list":[1,2]}"#
+        );
+    }
+}

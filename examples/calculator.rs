@@ -4,16 +4,31 @@
 //! ```text
 //! cargo run --example calculator -- "count {i, j : 1 <= i <= j <= n}"
 //! cargo run --example calculator            # runs the built-in demos
+//! cargo run --example calculator -- --stats "count {i : 1 <= i <= n}"
+//! cargo run --example calculator -- --trace "count {i : 1 <= i <= n}"
 //! ```
 //!
 //! Query syntax:  `count { v1, v2, … : formula }` — the listed
 //! variables are counted; every other name is a symbolic constant.
+//!
+//! Flags:
+//! * `--stats` — print the pipeline counters the query fired
+//!   (eliminations, splinters, clause counts, …);
+//! * `--trace` — additionally record timing spans and `explain` events
+//!   and print them as an indented derivation tree;
+//! * `--json` — with `--stats`/`--trace`, emit JSON instead of text.
 
 use presburger::prelude::*;
 use presburger_counting::try_count_solutions;
 use presburger_omega::parse_formula;
 
-fn run_query(query: &str) -> Result<(), String> {
+struct Options {
+    stats: bool,
+    trace: bool,
+    json: bool,
+}
+
+fn run_query(query: &str, opts: &Options) -> Result<(), String> {
     let query = query.trim();
     let rest = query
         .strip_prefix("count")
@@ -40,6 +55,7 @@ fn run_query(query: &str) -> Result<(), String> {
         .map(|v| space.name(v).to_string())
         .collect();
 
+    presburger::reset_stats();
     let count = try_count_solutions(&space, &f, &vars, &CountOptions::default())
         .map_err(|e| e.to_string())?;
     println!("> {query}");
@@ -62,13 +78,52 @@ fn run_query(query: &str) -> Result<(), String> {
         }
         println!();
     }
+    if opts.trace {
+        let tree = presburger::trace::span::take_tree();
+        if opts.json {
+            println!("{}", tree.to_json());
+        } else {
+            println!("--- trace ---");
+            print!("{}", tree.render());
+        }
+    }
+    if opts.stats {
+        let stats = presburger::stats();
+        if opts.json {
+            println!("{}", stats.to_json());
+        } else {
+            println!("--- pipeline counters ---");
+            print!("{stats}");
+        }
+    }
     println!();
     Ok(())
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let queries: Vec<String> = if args.is_empty() {
+    let mut opts = Options {
+        stats: false,
+        trace: false,
+        json: false,
+    };
+    let mut rest: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--json" => opts.json = true,
+            _ => rest.push(arg),
+        }
+    }
+    // --trace implies counters too: the derivation tree and the counter
+    // totals describe the same run.
+    if opts.trace {
+        opts.stats = true;
+    }
+    presburger::enable_stats(opts.stats);
+    presburger::trace::enable_tracing(opts.trace);
+
+    let queries: Vec<String> = if rest.is_empty() {
         [
             // the paper's running examples, in calculator syntax
             "count {i : 1 <= i <= 10}",
@@ -82,11 +137,11 @@ fn main() {
         .map(|s| s.to_string())
         .collect()
     } else {
-        vec![args.join(" ")]
+        vec![rest.join(" ")]
     };
     let mut failed = false;
     for q in &queries {
-        if let Err(e) = run_query(q) {
+        if let Err(e) = run_query(q, &opts) {
             eprintln!("error in {q:?}: {e}");
             failed = true;
         }

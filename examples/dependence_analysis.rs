@@ -49,9 +49,15 @@ fn main() {
     // contrast: a parallel loop — a[i][j] = b[i][j] has no dependences
     let b = ArrayRef::new("b", vec![Affine::var(i), Affine::var(j)]);
     let dep = dependence_formula(&nest, &write, &write);
-    println!("output self-dependence of a[i][j]: exists = {}", dep.exists());
+    println!(
+        "output self-dependence of a[i][j]: exists = {}",
+        dep.exists()
+    );
     let dep_b = dependence_formula(&nest, &b, &b);
-    println!("b[i][j] read-only:                 exists = {}", dep_b.exists());
+    println!(
+        "b[i][j] read-only:                 exists = {}",
+        dep_b.exists()
+    );
 
     // sanity for the asserts below
     assert!(!dep.exists());

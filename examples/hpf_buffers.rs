@@ -15,8 +15,7 @@ fn main() {
 
     let mut space = Space::new();
     let p = space.var("p");
-    let owned =
-        dist.elements_on_processor(&space, Affine::constant(0), Affine::constant(1024), p);
+    let owned = dist.elements_on_processor(&space, Affine::constant(0), Affine::constant(1024), p);
     println!("T(0:1024), 8 processors, block 4 — cells owned per processor:");
     for pv in 0..8i64 {
         println!("  p = {pv}: {}", owned.eval_i64(&[("p", pv)]).unwrap());

@@ -31,9 +31,7 @@ fn main() {
     println!("\nn = {n_val}, {procs} processors, total work = {total}");
     println!("  proc   chunk            work");
     for (p, &(s, e)) in chunks.iter().enumerate() {
-        let work: i64 = (s..=e)
-            .map(|iv| profile.work_at(iv, &[("n", n_val)]))
-            .sum();
+        let work: i64 = (s..=e).map(|iv| profile.work_at(iv, &[("n", n_val)])).sum();
         println!("  {p:<6} {s:>5}..={e:<8} {work}");
     }
 
@@ -42,10 +40,12 @@ fn main() {
     let block = n_val / procs as i64;
     for p in 0..procs as i64 {
         let s = 1 + p * block;
-        let e = if p == procs as i64 - 1 { n_val } else { s + block - 1 };
-        let work: i64 = (s..=e)
-            .map(|iv| profile.work_at(iv, &[("n", n_val)]))
-            .sum();
+        let e = if p == procs as i64 - 1 {
+            n_val
+        } else {
+            s + block - 1
+        };
+        let work: i64 = (s..=e).map(|iv| profile.work_at(iv, &[("n", n_val)])).sum();
         println!("  {p:<6} {s:>5}..={e:<8} {work}");
     }
 

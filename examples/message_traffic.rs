@@ -24,8 +24,8 @@ fn main() {
         Affine::constant(0),
         Affine::constant(n),
         "i",
-        &|i| Affine::var(i),                          // write a[i]
-        &|i| Affine::var(i) + Affine::constant(4),    // read  b[i+4]
+        &|i| Affine::var(i),                       // write a[i]
+        &|i| Affine::var(i) + Affine::constant(4), // read  b[i+4]
         p,
         q,
     );

@@ -25,7 +25,10 @@ fn main() {
     let count = count_solutions(&space, &iteration_space, &[i, j]);
     println!("iteration count = {}", count.to_display_string());
     for nv in [0i64, 1, 10, 100] {
-        println!("  n = {nv:>3}  →  {}", count.eval_i64(&[("n", nv)]).unwrap());
+        println!(
+            "  n = {nv:>3}  →  {}",
+            count.eval_i64(&[("n", nv)]).unwrap()
+        );
     }
 
     // If the body performs i + j flops, how many flops in total?
@@ -38,7 +41,10 @@ fn main() {
     );
     println!("\ntotal flops     = {}", flops.to_display_string());
     for nv in [1i64, 10, 100] {
-        println!("  n = {nv:>3}  →  {}", flops.eval_i64(&[("n", nv)]).unwrap());
+        println!(
+            "  n = {nv:>3}  →  {}",
+            flops.eval_i64(&[("n", nv)]).unwrap()
+        );
     }
 
     // The answers are guarded: outside 1 ≤ n both sums are 0.

@@ -41,7 +41,10 @@ fn main() {
     let lines = distinct_cache_lines(&nest, &refs, 16);
 
     println!("SOR loop nest, 5-point stencil on a(1:N, 1:N):");
-    println!("  distinct locations  (symbolic): {}", locations.to_display_string());
+    println!(
+        "  distinct locations  (symbolic): {}",
+        locations.to_display_string()
+    );
     println!();
     println!("  N      iterations   locations   cache lines   flops/line");
     for nv in [10i64, 100, 500, 1000] {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lints, formatting, and the
+# trace-overhead smoke check. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> trace overhead smoke (disabled collector < 5% of E3)"
+cargo run --release -p presburger-bench --bin overhead_smoke
+
+echo "All checks passed."

@@ -9,7 +9,9 @@
 //! * [`polyq`] — quasi-polynomials and guarded piecewise values;
 //! * [`counting`] — symbolic counting and summation (the paper's core);
 //! * [`apps`] — compiler-analysis applications (loop nests, cache, HPF);
-//! * [`baselines`] — the algorithms the paper compares against.
+//! * [`baselines`] — the algorithms the paper compares against;
+//! * [`trace`] — zero-dependency observability: pipeline counters,
+//!   timing spans, and human-readable `explain` derivations.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,44 @@ pub use presburger_baselines as baselines;
 pub use presburger_counting as counting;
 pub use presburger_omega as omega;
 pub use presburger_polyq as polyq;
+pub use presburger_trace as trace;
+
+/// Turns pipeline counters on or off for the current thread.
+///
+/// With counters off (the default) every instrumentation hook in the
+/// pipeline is a single thread-local boolean load.
+///
+/// ```
+/// use presburger::prelude::*;
+///
+/// presburger::enable_stats(true);
+/// presburger::reset_stats();
+/// let mut space = Space::new();
+/// let n = space.symbol("n");
+/// let i = space.var("i");
+/// let f = Formula::and(vec![
+///     Formula::ge(Affine::var(i) - Affine::constant(1)),
+///     Formula::ge(Affine::var(n) - Affine::var(i)),
+/// ]);
+/// let _ = count_solutions(&space, &f, &[i]);
+/// let stats = presburger::stats();
+/// assert!(stats.get(presburger::trace::Counter::FeasibilityChecks) > 0);
+/// presburger::enable_stats(false);
+/// ```
+pub fn enable_stats(on: bool) {
+    presburger_trace::enable_counters(on);
+}
+
+/// A snapshot of the pipeline counters accumulated on this thread.
+pub fn stats() -> presburger_trace::PipelineStats {
+    presburger_trace::snapshot()
+}
+
+/// Clears the pipeline counters (and any collected span tree) on this
+/// thread.
+pub fn reset_stats() {
+    presburger_trace::reset();
+}
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {

@@ -102,17 +102,10 @@ fn symbolic_addition_and_scaling() {
     let n = nest.symbol("n");
     let i = nest.add_loop("i", Affine::constant(1), Affine::var(n));
     let a = distinct_locations(&nest, &[ArrayRef::new("a", vec![Affine::var(i)])]);
-    let b = distinct_locations(
-        &nest,
-        &[ArrayRef::new("b", vec![Affine::term(i, 2)])],
-    );
+    let b = distinct_locations(&nest, &[ArrayRef::new("b", vec![Affine::term(i, 2)])]);
     let both = a.add(&b);
     for nv in 0i64..=9 {
-        assert_eq!(
-            both.eval_i64(&[("n", nv)]),
-            Some(2 * nv.max(0)),
-            "n={nv}"
-        );
+        assert_eq!(both.eval_i64(&[("n", nv)]), Some(2 * nv.max(0)), "n={nv}");
     }
     // 8 bytes per element
     let bytes = both.scale(&Rat::from(8));

@@ -4,8 +4,8 @@
 //! public API.
 
 use presburger_apps::{
-    distinct_cache_lines, distinct_locations, group_uniformly_generated, work_profile,
-    ArrayRef, BlockCyclic, LoopNest,
+    distinct_cache_lines, distinct_locations, group_uniformly_generated, work_profile, ArrayRef,
+    BlockCyclic, LoopNest,
 };
 use presburger_omega::{Affine, Formula};
 use presburger_polyq::QPoly;
@@ -135,8 +135,7 @@ fn hpf_ownership_crosscheck() {
         let d = BlockCyclic::new(procs, block);
         let mut s = presburger_omega::Space::new();
         let p = s.var("p");
-        let count =
-            d.elements_on_processor(&s, Affine::constant(0), Affine::constant(59), p);
+        let count = d.elements_on_processor(&s, Affine::constant(0), Affine::constant(59), p);
         for pv in 0..procs {
             let brute = (0..=59).filter(|&t| d.owner(t) == pv).count() as i64;
             assert_eq!(
@@ -156,7 +155,11 @@ fn tiled_loop_iteration_count() {
     let mut nest = LoopNest::new();
     let n = nest.symbol("n");
     let t = nest.add_loop("t", Affine::constant(0), Affine::var(n)); // loose upper; guard below
-    let i = nest.add_loop("i", Affine::term(t, 4) + Affine::constant(1), Affine::var(n));
+    let i = nest.add_loop(
+        "i",
+        Affine::term(t, 4) + Affine::constant(1),
+        Affine::var(n),
+    );
     nest.also_upper(Affine::term(t, 4) + Affine::constant(4));
     nest.guard(Formula::le(
         Affine::term(t, 4) + Affine::constant(1),

@@ -10,10 +10,7 @@ use presburger_omega::redundant::{gist, implies};
 use presburger_omega::{Conjunct, Space};
 use proptest::prelude::*;
 
-fn conjunct_2d(
-    s: &mut Space,
-    atoms: &[(i64, i64, i64)],
-) -> (Conjunct, VarId, VarId) {
+fn conjunct_2d(s: &mut Space, atoms: &[(i64, i64, i64)]) -> (Conjunct, VarId, VarId) {
     let x = s.var("x");
     let y = s.var("y");
     let mut c = Conjunct::new();

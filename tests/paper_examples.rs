@@ -109,7 +109,11 @@ fn example1() {
                     brute += (jv..=mv).count() as i64;
                 }
             }
-            assert_eq!(c.eval_i64(&[("n", nv), ("m", mv)]), Some(brute), "n={nv} m={mv}");
+            assert_eq!(
+                c.eval_i64(&[("n", nv), ("m", mv)]),
+                Some(brute),
+                "n={nv} m={mv}"
+            );
         }
     }
 }
@@ -241,7 +245,10 @@ fn nonlinear_constraints() {
     let fl = d.floor_div(Affine::var(n), 3);
     let body = Formula::and(vec![
         Formula::between(Affine::constant(0), x, Affine::var(n)),
-        Formula::eq(Affine::term(x, 2), Affine::zero().add_scaled(&fl, &3.into())),
+        Formula::eq(
+            Affine::term(x, 2),
+            Affine::zero().add_scaled(&fl, &3.into()),
+        ),
     ]);
     let f = d.finish(body);
     let c = count_solutions(&s, &f, &[x]);

@@ -128,7 +128,10 @@ fn negative_bound_odd_power_sums() {
         }
     }
     // symmetric range: the sum must vanish identically
-    assert_eq!(c.eval_rat(&[("n", 5), ("m", 5)]), presburger_arith::Rat::zero());
+    assert_eq!(
+        c.eval_rat(&[("n", 5), ("m", 5)]),
+        presburger_arith::Rat::zero()
+    );
 }
 
 /// A four-piece-mode crosscheck on a two-symbol workload.

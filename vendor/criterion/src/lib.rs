@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This vendored replacement implements the API surface the
+//! workspace's benches use — `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple mean/min wall-clock report instead of criterion's
+//! statistical machinery. Good enough to keep the benches compiling,
+//! running, and producing comparable numbers between sessions.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark before reporting.
+const TARGET_TOTAL: Duration = Duration::from_millis(40);
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under the id `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Times `f` with a borrowed input under the id `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match summarize(&bencher.samples) {
+            Some((mean, min)) => println!(
+                "{label:<55} mean {:>12} | min {:>12} | {} samples",
+                fmt_duration(mean),
+                fmt_duration(min),
+                bencher.samples.len()
+            ),
+            None => println!("{label:<55} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn summarize(samples: &[Duration]) -> Option<(Duration, Duration)> {
+    let min = *samples.iter().min()?;
+    let total: Duration = samples.iter().sum();
+    Some((total / samples.len() as u32, min))
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `("simplify", 12)`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id rendered as `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Collects timed samples of a closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`: one untimed warm-up, then up to
+    /// `sample_size` samples (stopping early once enough wall time has
+    /// accumulated so cheap closures don't spin for long).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            total += dt;
+            if total >= TARGET_TOTAL && self.samples.len() >= 10 {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive-exclusive length band for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.size.max_excl - self.size.min) as u128;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! registry cache, so the real crate cannot be fetched. This vendored
+//! replacement implements exactly the API surface the workspace's tests
+//! use — the `proptest!` macro, integer/tuple/`Vec` strategies, `any`,
+//! `prop_filter`, the `prop_assert*` / `prop_assume!` macros, and
+//! `TestCaseError` — on top of a small deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the failure message only;
+//!   inputs are not minimized.
+//! - **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path and name (override with `PROPTEST_STUB_SEED`), so runs are
+//!   reproducible across invocations and machines.
+//! - **No persistence** (`proptest-regressions` files are neither read
+//!   nor written).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Strategy};
+pub use test_runner::TestCaseError;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The subset of the real prelude the workspace uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond`
+/// holds. Usable in any function returning `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` specialised to equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` specialised to inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} == {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (it is re-drawn, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, e.g.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    |__proptest_rng| {
+                        let ($($arg,)+) = (
+                            $($crate::strategy::Strategy::sample(&($strat), __proptest_rng),)+
+                        );
+                        let __proptest_body = || -> ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        __proptest_body()
+                    },
+                );
+            }
+        )*
+    };
+}

@@ -1,0 +1,113 @@
+//! The case runner and its deterministic random source.
+
+use std::fmt;
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion: the property is falsified.
+    Fail(String),
+    /// The case was discarded (e.g. by `prop_assume!`) and should be
+    /// re-drawn without counting against the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A hard failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64: tiny, fast, and plenty for drawing test inputs.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds deterministically from a test name (FNV-1a), so each test
+    /// sees its own reproducible stream. `PROPTEST_STUB_SEED` (a u64)
+    /// perturbs every stream, for hunting order-dependent flakiness.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_STUB_SEED") {
+            if let Ok(x) = extra.trim().parse::<u64>() {
+                h ^= x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+        }
+        Self { state: h }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, n)`. `n` must be positive; spans up to
+    /// 2^64 (the widest any supported range strategy needs) are drawn
+    /// from 128 random bits, making modulo bias negligible.
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "empty sampling range");
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % n
+    }
+}
+
+/// Runs `config.cases` accepted cases of `body`, drawing inputs from
+/// `rng`; panics (failing the enclosing `#[test]`) on the first
+/// falsified case. Rejected cases are re-drawn, with a generous cap so
+/// an unsatisfiable `prop_assume!` cannot loop forever.
+pub fn run_cases<F>(name: &str, config: ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+{
+    let mut rng = Rng::from_name(name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = 1000 + u64::from(config.cases) * 20;
+    while accepted < config.cases {
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}); last reason: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "{name}: case {accepted} of {} failed: {reason}",
+                    config.cases
+                )
+            }
+        }
+    }
+}
+
+use crate::ProptestConfig;
