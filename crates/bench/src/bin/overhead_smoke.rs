@@ -9,6 +9,14 @@
 //! the disabled-collector overhead, which is compared against the
 //! median untraced wall time of the same simplification.
 //!
+//! The same bound must hold when the counting engine spawns worker
+//! threads: each worker adds one fork handle
+//! (`fork_scope`/`begin`/`finish`/`merge_fork_part` round trip), so the
+//! handle's disabled-path cost is measured the same way and gated at
+//! the same 5% — workers are far rarer than hooks, so in practice this
+//! asserts the handle is no more expensive than a handful of hook
+//! loads.
+//!
 //! ```text
 //! cargo run --release -p presburger-bench --bin overhead_smoke
 //! ```
@@ -45,6 +53,17 @@ fn main() {
     }
     let per_hook_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
 
+    // 2b. Unit cost of a disabled fork handle (what every spawned
+    //     worker pays when tracing is off).
+    const FORK_LOOPS: u32 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..FORK_LOOPS {
+        let scope = std::hint::black_box(trace::fork_scope());
+        let handle = scope.begin();
+        trace::merge_fork_part(std::hint::black_box(handle.finish()));
+    }
+    let per_fork_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(FORK_LOOPS);
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -56,14 +75,27 @@ fn main() {
     walls.sort_by(|a, b| a.total_cmp(b));
     let median_ms = walls[walls.len() / 2];
 
+    // A generous worker-count bound: one fork handle per worker per
+    // sum_formula call; E3-sized work never spawns more than this.
+    const FORKS_PER_RUN: f64 = 64.0;
     let overhead_ms = hooks as f64 * per_hook_ns / 1e6;
+    let fork_overhead_ms = FORKS_PER_RUN * per_fork_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
+    let fork_pct = 100.0 * fork_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
+    println!("disabled fork handle:    {per_fork_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
+    println!(
+        "fork-handle overhead:    {fork_overhead_ms:.4} ms at 64 workers ({fork_pct:.2}% of E3)"
+    );
     if pct >= 5.0 {
         eprintln!("FAIL: disabled-collector overhead {pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    if fork_pct >= 5.0 {
+        eprintln!("FAIL: disabled fork-handle overhead {fork_pct:.2}% >= 5%");
         std::process::exit(1);
     }
     println!("OK: disabled-collector overhead is below the 5% bound");

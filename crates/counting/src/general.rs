@@ -4,9 +4,12 @@
 //! clauses would double-count; the paper's alternative, inclusion–
 //! exclusion, needs `2^k − 1` summations for `k` clauses), then each
 //! clause is summed independently through the projected transform
-//! (§4.5.2) and the convex engine (§4.4).
+//! (§4.5.2) and the convex engine (§4.4). The per-clause work runs on
+//! the deterministic task pipeline ([`crate::pipeline`]): with
+//! [`CountOptions::threads`] > 1 the clauses are summed concurrently,
+//! with byte-identical results at any thread count.
 
-use crate::projected::{sum_clause, Ctx};
+use crate::pipeline::run_clause_tasks;
 use crate::{CountError, CountOptions};
 use presburger_omega::dnf::{simplify, SimplifyOptions};
 use presburger_omega::{Formula, Space, VarId};
@@ -23,11 +26,7 @@ pub fn sum_formula(
 ) -> Result<GuardedValue, CountError> {
     let _span = presburger_trace::span("sum_formula");
     let dnf = simplify(f, space, &SimplifyOptions::disjoint());
-    let mut acc = GuardedValue::zero();
-    let mut ctx = Ctx::new(space, opts);
-    for clause in &dnf.clauses {
-        acc.add(sum_clause(clause, vars, z, &mut ctx)?);
-    }
+    let mut acc = run_clause_tasks(dnf.clauses, vars, z, space, opts)?;
     acc.compact();
     // polish the answer: strip redundant constraints from each guard
     // (§2.3 — guards come out of the engine with shadow by-products)

@@ -44,6 +44,7 @@ pub mod convex;
 pub mod enumerate;
 pub mod general;
 pub mod minmax;
+pub mod pipeline;
 pub mod projected;
 
 use presburger_arith::{Int, Rat};
@@ -74,16 +75,37 @@ pub struct CountOptions {
     /// variable choice (§4.4 step 1). Disabling this reproduces the
     /// Tawbi-style behaviour the paper compares against (ablation A1).
     pub remove_redundant: bool,
+    /// Worker threads draining the clause-task pipeline: `1` runs the
+    /// tasks inline on the calling thread, `0` means one worker per
+    /// available core. Results are byte-identical at every setting —
+    /// the task decomposition and merge order never depend on
+    /// scheduling.
+    pub threads: usize,
 }
 
 impl Default for CountOptions {
+    /// The default thread count honours the `PRESBURGER_THREADS`
+    /// environment variable (read once per process), falling back to
+    /// `1` — today's sequential behaviour.
     fn default() -> CountOptions {
         CountOptions {
             mode: Mode::Exact,
             four_piece: false,
             remove_redundant: true,
+            threads: default_threads(),
         }
     }
+}
+
+fn default_threads() -> usize {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("PRESBURGER_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+    })
 }
 
 /// Errors reported by the counting engine.
@@ -168,25 +190,12 @@ impl Symbolic {
     ///
     /// Panics if the spaces disagree on a shared variable name.
     pub fn add(&self, other: &Symbolic) -> Symbolic {
-        let (longer, shorter) = if self.space.len() >= other.space.len() {
-            (&self.space, &other.space)
-        } else {
-            (&other.space, &self.space)
-        };
-        for v in shorter.iter() {
-            assert_eq!(
-                shorter.name(v),
-                longer.name(v),
-                "symbolic values come from incompatible spaces"
-            );
-        }
+        let mut space = self.space.clone();
+        space.absorb(&other.space);
         let mut value = self.value.clone();
         value.add(other.value.clone());
         value.compact();
-        Symbolic {
-            space: longer.clone(),
-            value,
-        }
+        Symbolic { space, value }
     }
 
     /// Scales the value by a rational factor (e.g. bytes per element).

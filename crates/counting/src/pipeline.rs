@@ -1,0 +1,172 @@
+//! The engine core: a deterministic, parallel clause-task pipeline.
+//!
+//! §4.5.1's disjoint DNF makes each clause of a formula summable
+//! *independently* — this module cashes that independence in. Every
+//! clause becomes a self-contained, `Send`-able [`ClauseTask`] carrying
+//! its own [forked](Space::fork_many) variable space, so no task needs
+//! `&mut` access to shared state. A work queue is drained either inline
+//! (`threads = 1`, the default) or by `std::thread::scope` workers.
+//!
+//! # Determinism guarantee
+//!
+//! Results are **byte-identical at every thread count**:
+//!
+//! - the task decomposition (one task per clause, in DNF clause order)
+//!   is fixed before any worker starts;
+//! - each task's forked space block is assigned by clause order, so the
+//!   fresh variables a task interns are a pure function of the input —
+//!   never of scheduling;
+//! - partial results land in a slot indexed by the task's sequence
+//!   number and are merged (and the forked spaces
+//!   [adopted](Space::adopt)) in that order after all tasks finish.
+//!
+//! Trace counters measured on workers are folded back into the calling
+//! thread through [`presburger_trace::fork_scope`]; totals equal the
+//! sequential run's. Span subtrees are grafted under the caller's open
+//! span (their relative order across workers follows worker index, and
+//! timings naturally vary run to run).
+
+use crate::projected::{sum_clause, Ctx};
+use crate::{CountError, CountOptions};
+use presburger_omega::{Conjunct, Space, VarId};
+use presburger_polyq::{GuardedValue, QPoly};
+use presburger_trace as trace;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One independent unit of work: a clause of the disjoint DNF together
+/// with a private fork of the variable space. Everything it touches is
+/// owned, so the task can run on any thread.
+pub(crate) struct ClauseTask {
+    /// Position of the clause in the DNF — the merge slot.
+    seq: usize,
+    clause: Conjunct,
+    space: Space,
+}
+
+/// Resolves a [`CountOptions::threads`] request to a concrete worker
+/// count: `0` means one per available core.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Sums `z` over every clause and merges the partial results in clause
+/// order. The clauses must be pairwise disjoint (the caller obtains
+/// them from `SimplifyOptions::disjoint()`); fresh variables any task
+/// interns are adopted back into `space`.
+///
+/// Every task runs to completion even when one fails, so the work done
+/// (and the trace counters) do not depend on scheduling; the error
+/// reported is the one from the earliest clause.
+pub(crate) fn run_clause_tasks(
+    clauses: Vec<Conjunct>,
+    vars: &[VarId],
+    z: &QPoly,
+    space: &mut Space,
+    opts: &CountOptions,
+) -> Result<GuardedValue, CountError> {
+    let n = clauses.len();
+    if n == 0 {
+        return Ok(GuardedValue::zero());
+    }
+    let forks = space.fork_many(n);
+    let tasks: VecDeque<ClauseTask> = clauses
+        .into_iter()
+        .zip(forks)
+        .enumerate()
+        .map(|(seq, (clause, space))| ClauseTask { seq, clause, space })
+        .collect();
+
+    let threads = resolve_threads(opts.threads).min(n);
+    let mut slots: Vec<Option<(Space, Result<GuardedValue, CountError>)>> =
+        (0..n).map(|_| None).collect();
+
+    if threads <= 1 {
+        for mut task in tasks {
+            let r = run_task(&mut task, vars, z, opts);
+            slots[task.seq] = Some((task.space, r));
+        }
+    } else {
+        let queue = Mutex::new(tasks);
+        let fork = trace::fork_scope();
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let queue = &queue;
+                    s.spawn(move || {
+                        let handle = fork.begin();
+                        let mut done = Vec::new();
+                        loop {
+                            let task = queue.lock().expect("queue poisoned").pop_front();
+                            let Some(mut task) = task else { break };
+                            let r = run_task(&mut task, vars, z, opts);
+                            done.push((task.seq, task.space, r));
+                        }
+                        (done, handle.finish())
+                    })
+                })
+                .collect();
+            for w in workers {
+                let (done, part) = w.join().expect("clause worker panicked");
+                trace::merge_fork_part(part);
+                for (seq, task_space, r) in done {
+                    slots[seq] = Some((task_space, r));
+                }
+            }
+        });
+    }
+
+    // Deterministic merge: clause order, independent of which worker
+    // computed what.
+    let mut acc = GuardedValue::zero();
+    let mut first_err: Option<CountError> = None;
+    for slot in slots {
+        let (task_space, r) = slot.expect("every clause task ran");
+        space.adopt(&task_space);
+        match r {
+            Ok(v) => {
+                if first_err.is_none() {
+                    acc.add(v);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(acc),
+    }
+}
+
+fn run_task(
+    task: &mut ClauseTask,
+    vars: &[VarId],
+    z: &QPoly,
+    opts: &CountOptions,
+) -> Result<GuardedValue, CountError> {
+    let _span = trace::span_dyn(|| format!("clause task #{}", task.seq));
+    let mut ctx = Ctx::new(&mut task.space, opts);
+    sum_clause(&task.clause, vars, z, &mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_request_resolution() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -533,10 +533,25 @@ impl Conjunct {
 }
 
 fn cmp_affine(a: &Affine, b: &Affine) -> std::cmp::Ordering {
-    let av: Vec<(VarId, Int)> = a.iter().map(|(v, c)| (v, c.clone())).collect();
-    let bv: Vec<(VarId, Int)> = b.iter().map(|(v, c)| (v, c.clone())).collect();
-    av.cmp(&bv)
-        .then_with(|| a.constant_term().cmp(b.constant_term()))
+    // Lexicographic over the (VarId, coeff) terms, then the constant —
+    // without materializing (and cloning) the term lists: this runs
+    // inside every sort `normalize` performs.
+    use std::cmp::Ordering;
+    let mut ai = a.iter();
+    let mut bi = b.iter();
+    loop {
+        match (ai.next(), bi.next()) {
+            (Some((v1, c1)), Some((v2, c2))) => {
+                let o = v1.cmp(&v2).then_with(|| c1.cmp(c2));
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            (Some(_), None) => return Ordering::Greater,
+            (None, Some(_)) => return Ordering::Less,
+            (None, None) => return a.constant_term().cmp(b.constant_term()),
+        }
+    }
 }
 
 /// Same variable part (coefficients), possibly different constants.

@@ -90,12 +90,11 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
         };
     }
     if !c.mentions(v) {
-        let mut r = c.clone();
-        r.wildcards.retain(|w| *w != v);
+        c.wildcards.retain(|w| *w != v);
         return Eliminated {
             exact: true,
             disjoint: true,
-            clauses: vec![r],
+            clauses: vec![c],
         };
     }
 
@@ -171,7 +170,7 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
             }
             // Splinters (Figure 1, left): for each lower bound β ≤ b·v,
             // try b·v = β + i for i = 0 .. ((a_max−1)(b−1)−1)/a_max.
-            let amax = uppers.iter().map(|u| u.coeff.clone()).max().unwrap();
+            let amax = uppers.iter().map(|u| &u.coeff).max().unwrap().clone();
             for l in &lowers {
                 if l.coeff.is_one() {
                     continue;
@@ -183,10 +182,9 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     trace::bump(Counter::SplintersGenerated);
                     let mut s = c.clone();
                     // b·v - β - i = 0
-                    let mut eq = l.expr.clone();
-                    eq = -&eq;
+                    let mut eq = -&l.expr;
                     eq.set_coeff(v, l.coeff.clone());
-                    eq.add_constant(&-i.clone());
+                    eq.add_constant(&-&i);
                     s.add_eq(eq);
                     s.normalize();
                     let mut kept = false;
@@ -239,12 +237,10 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                 trace::explain(|| format!("dark shadow: {}", dark.to_string(space)));
                 clauses.push(dark);
             }
-            let mut pairs = Vec::new();
-            for l in &lowers {
-                for u in &uppers {
-                    pairs.push((l.clone(), u.clone()));
-                }
-            }
+            let pairs: Vec<(&Bound, &Bound)> = lowers
+                .iter()
+                .flat_map(|l| uppers.iter().map(move |u| (l, u)))
+                .collect();
             for (k, (l, u)) in pairs.iter().enumerate() {
                 let gap = &(&l.coeff - &Int::one()) * &(&u.coeff - &Int::one());
                 if gap.is_zero() {
@@ -262,7 +258,7 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     let balpha = Affine::zero().add_scaled(&u.expr, &l.coeff);
                     let abeta = Affine::zero().add_scaled(&l.expr, &u.coeff);
                     let mut eq = &balpha - &abeta;
-                    eq.add_constant(&-i.clone());
+                    eq.add_constant(&-&i);
                     region.add_eq(eq);
                     // within the region: a·β ≤ a·b·v ≤ b·α = a·β + i,
                     // so a·b·v = a·β + j for exactly one j in 0..=i.
@@ -272,7 +268,7 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                         let mut s = region.clone();
                         let mut eqv = -&abeta;
                         eqv.set_coeff(v, &l.coeff * &u.coeff);
-                        eqv.add_constant(&-j.clone());
+                        eqv.add_constant(&-&j);
                         s.add_eq(eqv);
                         s.normalize();
                         let mut kept = false;

@@ -5,10 +5,26 @@
 //! The space records the human-readable name of each variable; *roles*
 //! (symbolic constant vs. counted variable vs. clause-local wildcard)
 //! are decided by the operations that consume the ids, not by the space.
+//!
+//! # Forking
+//!
+//! A space can be [forked](Space::fork): the child sees every variable
+//! the parent had at fork time and allocates any *new* ids from a block
+//! of the id range disjoint from the parent's (and from every sibling's).
+//! Ids therefore never collide between a parent and its forks, which
+//! lets independent tasks intern fresh variables concurrently without
+//! sharing `&mut` access to one space. Because the blocks are carved
+//! deterministically (by fork order, not by scheduling), the ids a task
+//! allocates are a pure function of the fork tree — the foundation of
+//! the counting engine's any-thread-count determinism. Re-uniting a
+//! child is a conflict-free union ([`Space::adopt`]): no renumbering
+//! ever happens.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Identifier of an interned variable. Ordered by creation.
+/// Identifier of an interned variable. Ordered by creation within one
+/// space; fork blocks order after the densely allocated prefix.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) u32);
 
@@ -35,10 +51,29 @@ impl fmt::Debug for VarId {
 /// assert_eq!(space.var("n"), n);       // interning is idempotent
 /// assert_eq!(space.name(n), "n");
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Space {
+    /// Names of the densely allocated prefix: ids `0..names.len()`.
     names: Vec<String>,
+    /// Names of ids allocated inside fork blocks (sparse).
+    forked: BTreeMap<u32, String>,
     fresh_counter: u32,
+    /// The next id this space hands out.
+    next: u32,
+    /// Exclusive end of the id range this space may allocate from.
+    hi: u32,
+}
+
+impl Default for Space {
+    fn default() -> Space {
+        Space {
+            names: Vec::new(),
+            forked: BTreeMap::new(),
+            fresh_counter: 0,
+            next: 0,
+            hi: u32::MAX,
+        }
+    }
 }
 
 impl Space {
@@ -47,13 +82,27 @@ impl Space {
         Space::default()
     }
 
+    fn alloc(&mut self, name: String) -> VarId {
+        assert!(
+            self.next < self.hi,
+            "Space: variable id range exhausted (too many forks or fresh variables)"
+        );
+        let id = self.next;
+        self.next += 1;
+        if id as usize == self.names.len() {
+            self.names.push(name);
+        } else {
+            self.forked.insert(id, name);
+        }
+        VarId(id)
+    }
+
     /// Interns `name`, returning its id (existing or new).
     pub fn var(&mut self, name: &str) -> VarId {
-        if let Some(i) = self.names.iter().position(|n| n == name) {
-            VarId(i as u32)
+        if let Some(v) = self.lookup(name) {
+            v
         } else {
-            self.names.push(name.to_string());
-            VarId((self.names.len() - 1) as u32)
+            self.alloc(name.to_string())
         }
     }
 
@@ -63,23 +112,117 @@ impl Space {
         self.var(name)
     }
 
-    /// Looks up a variable by name without interning.
+    /// Looks up a variable by name without interning. When forks have
+    /// introduced duplicate names, the lowest id wins.
     pub fn lookup(&self, name: &str) -> Option<VarId> {
-        self.names
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Some(VarId(i as u32));
+        }
+        self.forked
             .iter()
-            .position(|n| n == name)
-            .map(|i| VarId(i as u32))
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(&id, _)| VarId(id))
     }
 
     /// Creates a fresh variable guaranteed not to collide with any
-    /// existing name. Used for wildcards introduced during elimination.
+    /// existing name *in this space*. Used for wildcards introduced
+    /// during elimination. Sibling forks may coin the same display name
+    /// for different ids; identity is always the id.
     pub fn fresh(&mut self, hint: &str) -> VarId {
         loop {
             self.fresh_counter += 1;
             let name = format!("{hint}${}", self.fresh_counter);
             if self.lookup(&name).is_none() {
-                self.names.push(name);
-                return VarId((self.names.len() - 1) as u32);
+                return self.alloc(name);
+            }
+        }
+    }
+
+    /// Splits off a child space that shares every variable interned so
+    /// far and allocates new ids from a block disjoint from the
+    /// parent's remaining range. Equivalent to `fork_many(1)`.
+    pub fn fork(&mut self) -> Space {
+        self.fork_many(1)
+            .pop()
+            .expect("fork_many(1) yields one child")
+    }
+
+    /// Splits off `k` child spaces with pairwise disjoint allocation
+    /// blocks (each also disjoint from the parent's remaining range).
+    /// The carve depends only on this space's state and `k` — never on
+    /// scheduling — so repeated runs produce identical ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remaining id range is too small to carve `k`
+    /// useful blocks (requires pathologically deep fork nesting).
+    pub fn fork_many(&mut self, k: usize) -> Vec<Space> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Keep the lower half of the unallocated range for ourselves;
+        // slice the upper half evenly among the children.
+        let avail = self.hi - self.next;
+        let mid = self.next + avail / 2;
+        let slice = (self.hi - mid) / k as u32;
+        assert!(
+            slice >= 2,
+            "Space: id range exhausted by forking ({k} children from {avail} free ids)"
+        );
+        let children = (0..k as u32)
+            .map(|i| Space {
+                names: self.names.clone(),
+                forked: self.forked.clone(),
+                fresh_counter: self.fresh_counter,
+                next: mid + i * slice,
+                hi: mid + (i + 1) * slice,
+            })
+            .collect();
+        self.hi = mid;
+        children
+    }
+
+    /// Re-unites a fork: records the child's block-allocated names so
+    /// this space can resolve ids the child created. Blocks are
+    /// disjoint by construction, so this is a conflict-free union — no
+    /// id is ever renumbered (the "merge is a no-op" guarantee).
+    pub fn adopt(&mut self, child: &Space) {
+        for (id, name) in &child.forked {
+            self.forked.entry(*id).or_insert_with(|| name.clone());
+        }
+    }
+
+    /// Unions another space into this one, for combining results that
+    /// stem from the same base space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces disagree on the name of a shared id.
+    pub fn absorb(&mut self, other: &Space) {
+        let shared = self.names.len().min(other.names.len());
+        for i in 0..shared {
+            assert_eq!(
+                self.names[i], other.names[i],
+                "Space::absorb: spaces disagree on variable v{i}"
+            );
+        }
+        if other.names.len() > self.names.len() {
+            let was_dense = self.next as usize == self.names.len();
+            self.names
+                .extend(other.names[self.names.len()..].iter().cloned());
+            if was_dense {
+                self.next = self.names.len() as u32;
+            }
+        }
+        for (id, name) in &other.forked {
+            match self.forked.get(id) {
+                Some(existing) => assert_eq!(
+                    existing, name,
+                    "Space::absorb: spaces disagree on variable v{id}"
+                ),
+                None => {
+                    self.forked.insert(*id, name.clone());
+                }
             }
         }
     }
@@ -88,24 +231,34 @@ impl Space {
     ///
     /// # Panics
     ///
-    /// Panics if `v` was not created by this space.
+    /// Panics if `v` was not created by this space (or a fork it has
+    /// since [adopted](Space::adopt)).
     pub fn name(&self, v: VarId) -> &str {
-        &self.names[v.index()]
+        if v.index() < self.names.len() {
+            &self.names[v.index()]
+        } else {
+            self.forked
+                .get(&v.0)
+                .unwrap_or_else(|| panic!("VarId v{} is unknown to this space", v.0))
+        }
     }
 
     /// Number of interned variables.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.names.len() + self.forked.len()
     }
 
     /// Returns `true` if no variables have been interned.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.names.is_empty() && self.forked.is_empty()
     }
 
-    /// Iterates over all interned variable ids.
+    /// Iterates over all interned variable ids, densely allocated ids
+    /// first, then fork-block ids in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
-        (0..self.names.len()).map(|i| VarId(i as u32))
+        (0..self.names.len() as u32)
+            .chain(self.forked.keys().copied())
+            .map(VarId)
     }
 }
 
@@ -140,5 +293,100 @@ mod tests {
         let mut s = Space::new();
         let ids: Vec<VarId> = ["x", "y", "z"].iter().map(|n| s.var(n)).collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn forks_allocate_disjoint_ids() {
+        let mut s = Space::new();
+        let n = s.var("n");
+        let mut kids = s.fork_many(3);
+        let parent_new = s.fresh("p");
+        let mut seen = vec![parent_new];
+        for k in &mut kids {
+            assert_eq!(k.name(n), "n"); // inherited
+            let a = k.fresh("w");
+            let b = k.var("brand-new");
+            seen.push(a);
+            seen.push(b);
+        }
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "ids collided: {seen:?}");
+    }
+
+    #[test]
+    fn fork_carve_is_deterministic() {
+        let build = || {
+            let mut s = Space::new();
+            s.var("n");
+            let mut kids = s.fork_many(4);
+            kids.iter_mut()
+                .map(|k| (k.fresh("w"), k.fresh("t")))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn adopt_makes_child_names_resolvable() {
+        let mut s = Space::new();
+        s.var("n");
+        let mut child = s.fork();
+        let w = child.fresh("w");
+        let name = child.name(w).to_string();
+        s.adopt(&child);
+        assert_eq!(s.name(w), name);
+        assert_eq!(s.lookup(&name), Some(w));
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|v| v == w));
+    }
+
+    #[test]
+    fn nested_forks_stay_disjoint() {
+        let mut s = Space::new();
+        s.var("n");
+        let mut child = s.fork();
+        let grandkids = child.fork_many(2);
+        let mut ids: Vec<VarId> = Vec::new();
+        ids.push(s.fresh("a"));
+        ids.push(child.fresh("b"));
+        for mut g in grandkids {
+            ids.push(g.fresh("c"));
+        }
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "ids collided: {ids:?}");
+    }
+
+    #[test]
+    fn absorb_unions_names() {
+        let mut base = Space::new();
+        base.var("n");
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let x = a.var("x");
+        let y = b.fork().fresh("y"); // fork id, unknown to `a`
+        let mut b2 = base.clone();
+        let child = {
+            let mut c = b2.fork();
+            let got = c.fresh("y");
+            assert_eq!(got, y); // deterministic carve
+            c
+        };
+        b2.adopt(&child);
+        a.absorb(&b2);
+        assert_eq!(a.name(x), "x");
+        assert!(a.name(y).starts_with("y$"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown to this space")]
+    fn foreign_fork_id_panics() {
+        let mut s = Space::new();
+        let mut child = s.fork();
+        let w = child.fresh("w");
+        s.name(w); // never adopted
     }
 }

@@ -12,7 +12,7 @@ use presburger_arith::{Int, Rat};
 use presburger_omega::{Conjunct, Space, VarId};
 
 /// One guarded term: contributes `value` where `guard` holds.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Piece {
     /// The guard over the symbolic constants (wildcard-free up to
     /// stride constraints).
@@ -37,7 +37,7 @@ pub struct Piece {
 /// assert_eq!(v.eval(&s, &|_| Int::from(7)), Rat::from(7));
 /// assert_eq!(v.eval(&s, &|_| Int::from(0)), Rat::zero());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GuardedValue {
     pieces: Vec<Piece>,
 }

@@ -143,6 +143,22 @@ pub(crate) fn max_raw(counter: Counter, value: u64) {
     });
 }
 
+/// Folds a worker thread's snapshot into this thread's cells: running
+/// counts are added, gauges raised to the worker's high-water mark.
+pub(crate) fn merge(stats: &PipelineStats) {
+    for c in Counter::ALL {
+        let v = stats.get(c);
+        if v == 0 {
+            continue;
+        }
+        if c.is_gauge() {
+            max_raw(c, v);
+        } else {
+            add_raw(c, v);
+        }
+    }
+}
+
 pub(crate) fn snapshot() -> PipelineStats {
     CELLS.with(|cells| {
         let mut values = [0u64; NUM_COUNTERS];

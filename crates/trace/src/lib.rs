@@ -15,7 +15,10 @@
 //!   attached to the innermost open span.
 //!
 //! Everything is per-thread: enabling collection on one thread does not
-//! observe or perturb work on another.
+//! observe or perturb work on another. Worker threads hand their
+//! measurements back to the spawning thread through the [`fork`]
+//! protocol ([`fork_scope`] → [`ForkScope::begin`] →
+//! [`ForkHandle::finish`] → [`merge_fork_part`]).
 //!
 //! # Example
 //!
@@ -33,10 +36,12 @@
 //! ```
 
 pub mod counters;
+pub mod fork;
 pub mod json;
 pub mod span;
 
 pub use counters::{Counter, PipelineStats};
+pub use fork::{fork_scope, merge_fork_part, ForkHandle, ForkPart, ForkScope};
 pub use span::{explain, span, span_dyn, SpanGuard, SpanTree};
 
 use std::cell::Cell;

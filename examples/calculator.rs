@@ -16,7 +16,9 @@
 //!   (eliminations, splinters, clause counts, …);
 //! * `--trace` — additionally record timing spans and `explain` events
 //!   and print them as an indented derivation tree;
-//! * `--json` — with `--stats`/`--trace`, emit JSON instead of text.
+//! * `--json` — with `--stats`/`--trace`, emit JSON instead of text;
+//! * `--threads N` — drain the clause pipeline with `N` worker threads
+//!   (`0` = one per core). Answers are byte-identical at any setting.
 
 use presburger::prelude::*;
 use presburger_counting::try_count_solutions;
@@ -26,6 +28,7 @@ struct Options {
     stats: bool,
     trace: bool,
     json: bool,
+    threads: usize,
 }
 
 fn run_query(query: &str, opts: &Options) -> Result<(), String> {
@@ -56,8 +59,11 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
         .collect();
 
     presburger::reset_stats();
-    let count = try_count_solutions(&space, &f, &vars, &CountOptions::default())
-        .map_err(|e| e.to_string())?;
+    let count_opts = CountOptions {
+        threads: opts.threads,
+        ..CountOptions::default()
+    };
+    let count = try_count_solutions(&space, &f, &vars, &count_opts).map_err(|e| e.to_string())?;
     println!("> {query}");
     println!("  = {}", count.to_display_string());
     if !symbols.is_empty() {
@@ -105,13 +111,22 @@ fn main() {
         stats: false,
         trace: false,
         json: false,
+        threads: CountOptions::default().threads,
     };
     let mut rest: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
             "--json" => opts.json = true,
+            "--threads" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => opts.threads = n,
+                _ => {
+                    eprintln!("--threads needs a number (0 = one per core)");
+                    std::process::exit(2);
+                }
+            },
             _ => rest.push(arg),
         }
     }

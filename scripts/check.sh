@@ -1,20 +1,41 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, lints, formatting, and the
-# trace-overhead smoke check. Run from the repository root.
+# Full local gate: build, tests (sequential AND parallel engine), lints,
+# formatting, cross-thread determinism of the experiments output, and
+# the trace-overhead smoke check. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+echo "==> cargo test --workspace -q (PRESBURGER_THREADS=1)"
+PRESBURGER_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test --workspace -q (PRESBURGER_THREADS=4)"
+PRESBURGER_THREADS=4 cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+echo "==> experiments output is identical at 1 and 4 threads"
+# Timing legitimately varies run to run: blank the ms / par_speedup
+# columns and normalize wall times quoted inside Measured cells (E3),
+# then require everything else — ids, measured values, counters, pass
+# marks — to be byte-identical. Cells may contain escaped \| so count
+# columns from the end of the row, where ms is third-from-last.
+strip_timing() {
+    awk -F'|' 'BEGIN{OFS="|"} NF>=8 {$(NF-3)=""; $(NF-2)=""} {gsub(/[0-9]+\.[0-9]+ ms/, "_ ms"); print}'
+}
+out1=$(PRESBURGER_THREADS=1 cargo run --release -q -p presburger-bench --bin experiments | strip_timing)
+out4=$(PRESBURGER_THREADS=4 cargo run --release -q -p presburger-bench --bin experiments | strip_timing)
+if [ "$out1" != "$out4" ]; then
+    echo "FAIL: experiments output differs between 1 and 4 threads" >&2
+    diff <(printf '%s\n' "$out1") <(printf '%s\n' "$out4") >&2 || true
+    exit 1
+fi
 
 echo "==> trace overhead smoke (disabled collector < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke

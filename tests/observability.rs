@@ -91,10 +91,20 @@ fn e11_splinter_counters_match_the_mechanics() {
     let (overlapping, ovl) = metered(|| eliminate(&c, beta, &mut s, Shadow::ExactOverlapping));
     assert_eq!(ovl.get(Counter::EliminateExactOverlapping), 1, "{ovl}");
     // One dark-shadow clause plus splinters. The paper's worked example
-    // derives 2 splinters and dark shadow 5 ≤ α ≤ 25; our bound
-    // `top = ((b−1)(a−1) − 1) / a` generates per-lower-bound splinter
-    // candidates (3 here, none pruned) and the sound dark shadow
-    // 5 ≤ α ≤ 27.
+    // (§5.2) quotes dark shadow 5 ≤ α ≤ 25, but the pairwise condition
+    // bU − aL ≥ (a−1)(b−1) applied to β's bounds
+    //   3β ≥ α, 3β ≤ α+7, 2β ≥ α−5, 2β ≤ α−1
+    // gives exactly:
+    //   (b=3, a=2): 3(α−1) − 2α = α−3 ≥ 2      ⇒ α ≥ 5
+    //   (b=2, a=3): 2(α+7) − 3(α−5) = 29−α ≥ 2 ⇒ α ≤ 27
+    // (the other two pairs hold unconditionally), so the dark shadow is
+    // 5 ≤ α ≤ 27 — and it is genuinely inhabited at the top: α = 26 and
+    // α = 27 are both satisfied by β = 11 (3·11−26 = 7 ∈ [0,7],
+    // 26−22 = 4 ∈ [1,5]; and 3·11−27 = 6, 27−22 = 5). The exact
+    // projection is {3} ∪ [5,27] ∪ {29}, so the paper's 25 under-claims
+    // the dark shadow; ours is the tight pairwise bound. Our splinter
+    // bound `top = ((b−1)(a−1) − 1) / a` generates 3 per-lower-bound
+    // candidates here (none pruned).
     assert_eq!(ovl.get(Counter::DarkShadowClauses), 1, "{ovl}");
     assert_eq!(ovl.get(Counter::SplintersGenerated), 3, "{ovl}");
     assert_eq!(
@@ -119,9 +129,10 @@ fn e11_splinter_counters_match_the_mechanics() {
     );
     assert!(dis.get(Counter::SplintersPruned) > 0, "{dis}");
 
-    // The dark shadow covers 5 ≤ α ≤ 27 here (paper: 5 ≤ α ≤ 25): the
-    // first clause of either result must contain α = 5..=25 and, in our
-    // over-approximation, 26 and 27 as well.
+    // Per the derivation above the dark shadow is exactly 5 ≤ α ≤ 27
+    // (the paper's quoted 5 ≤ α ≤ 25 under-claims it): the first clause
+    // must contain all of α = 5..=27 — including 26 and 27, which have
+    // the witness β = 11 — and exclude 4 and 28.
     let dark = &overlapping.clauses[0];
     for av in 5..=27i64 {
         assert!(
