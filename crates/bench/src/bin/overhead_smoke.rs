@@ -53,6 +53,20 @@ fn main() {
     }
     let per_hook_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
 
+    // 2a. Unit cost of a disabled gauge hook. Since the governor
+    //     joined the flags bitfield, `record_max` (like `add`) guards
+    //     on counting|governed in one thread-local load; with no
+    //     governed region installed this measures the whole
+    //     disabled-governor path.
+    let t = Instant::now();
+    for _ in 0..HOOK_LOOPS {
+        trace::record_max(
+            std::hint::black_box(Counter::MaxCoeffBits),
+            std::hint::black_box(1),
+        );
+    }
+    let per_gauge_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
+
     // 2b. Unit cost of a disabled fork handle (what every spawned
     //     worker pays when tracing is off).
     const FORK_LOOPS: u32 = 1_000_000;
@@ -79,14 +93,20 @@ fn main() {
     // sum_formula call; E3-sized work never spawns more than this.
     const FORKS_PER_RUN: f64 = 64.0;
     let overhead_ms = hooks as f64 * per_hook_ns / 1e6;
+    // Gauge hooks are a (small) subset of all hooks; bounding them by
+    // the full hook count is conservative.
+    let gauge_overhead_ms = hooks as f64 * per_gauge_ns / 1e6;
     let fork_overhead_ms = FORKS_PER_RUN * per_fork_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
+    let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
+    println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
     println!("disabled fork handle:    {per_fork_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
+    println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
     println!(
         "fork-handle overhead:    {fork_overhead_ms:.4} ms at 64 workers ({fork_pct:.2}% of E3)"
     );
@@ -94,9 +114,13 @@ fn main() {
         eprintln!("FAIL: disabled-collector overhead {pct:.2}% >= 5%");
         std::process::exit(1);
     }
+    if gauge_pct >= 5.0 {
+        eprintln!("FAIL: disabled-governor gauge overhead {gauge_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
     if fork_pct >= 5.0 {
         eprintln!("FAIL: disabled fork-handle overhead {fork_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector overhead is below the 5% bound");
+    println!("OK: disabled-collector and disabled-governor overhead is below the 5% bound");
 }

@@ -212,7 +212,12 @@ fn pick_variable(c: &Conjunct, vars: &[VarId], ctx: &mut Ctx<'_>) -> Result<VarI
             best = Some((*v, cost));
         }
     }
-    Ok(best.expect("vars nonempty").0)
+    Ok(best
+        .expect(
+            "invariant: pick_variable is only called with the non-empty list \
+             of summation variables the clause still mentions",
+        )
+        .0)
 }
 
 /// §4.4 step 3: replace p upper (or lower) bounds with p disjoint

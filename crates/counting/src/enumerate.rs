@@ -21,9 +21,9 @@ pub fn count_formula(
 ) -> u64 {
     sum_formula(f, vars, range, sym, &QPoly::one())
         .to_int()
-        .expect("counting 1 is integral")
+        .expect("invariant: summing the constant 1 always yields an integer")
         .to_i64()
-        .expect("count fits i64") as u64
+        .expect("invariant: a brute-force count over an i64 range fits in i64") as u64
 }
 
 /// Sums `poly` over the satisfying assignments (quantifier-free `f`).

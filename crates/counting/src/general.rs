@@ -26,15 +26,25 @@ pub fn sum_formula(
 ) -> Result<GuardedValue, CountError> {
     let _span = presburger_trace::span("sum_formula");
     let dnf = simplify(f, space, &SimplifyOptions::disjoint());
-    let mut acc = run_clause_tasks(dnf.clauses, vars, z, space, opts)?;
+    let acc = run_clause_tasks(dnf.clauses, vars, z, space, opts)?;
+    Ok(polish(acc, space, opts))
+}
+
+/// Polishes a merged answer: compacts equal-guard pieces and strips
+/// redundant constraints from each guard (§2.3 — guards come out of
+/// the engine with shadow by-products). Shared by the plain and the
+/// [governed](crate::govern) entry points.
+pub(crate) fn polish(
+    mut acc: GuardedValue,
+    space: &mut Space,
+    opts: &CountOptions,
+) -> GuardedValue {
     acc.compact();
-    // polish the answer: strip redundant constraints from each guard
-    // (§2.3 — guards come out of the engine with shadow by-products)
     if opts.remove_redundant {
         acc = acc.map_guards(|g| presburger_omega::redundant::remove_redundant(g, space));
         acc.compact();
     }
-    Ok(acc)
+    acc
 }
 
 #[cfg(test)]

@@ -43,9 +43,15 @@ pub mod basic;
 pub mod convex;
 pub mod enumerate;
 pub mod general;
+pub mod govern;
 pub mod minmax;
 pub mod pipeline;
 pub mod projected;
+
+pub use govern::{
+    try_count_solutions_governed, try_sum_polynomial_governed, Budgets, ClauseStatus,
+    DegradePolicy, Governor, Outcome,
+};
 
 use presburger_arith::{Int, Rat};
 use presburger_omega::{Formula, Space, VarId};
@@ -85,8 +91,10 @@ pub struct CountOptions {
 
 impl Default for CountOptions {
     /// The default thread count honours the `PRESBURGER_THREADS`
-    /// environment variable (read once per process), falling back to
-    /// `1` — today's sequential behaviour.
+    /// environment variable — read **per call**, so tests (and long-
+    /// running services) that change the variable after the first count
+    /// are not silently ignored — falling back to `1`, the sequential
+    /// behaviour.
     fn default() -> CountOptions {
         CountOptions {
             mode: Mode::Exact,
@@ -98,14 +106,10 @@ impl Default for CountOptions {
 }
 
 fn default_threads() -> usize {
-    use std::sync::OnceLock;
-    static CACHE: OnceLock<usize> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("PRESBURGER_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(1)
-    })
+    std::env::var("PRESBURGER_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
 }
 
 /// Errors reported by the counting engine.
@@ -118,6 +122,43 @@ pub enum CountError {
     },
     /// The computation exceeded its recursion budget.
     TooComplex(String),
+    /// A [`Governor`] budget was exhausted.
+    BudgetExceeded {
+        /// Stable name of the exhausted resource (a counter name or an
+        /// engine fuel pool such as `wildcard_projection_fuel`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The amount spent when the trip fired.
+        spent: u64,
+    },
+    /// The [`Governor`] wall-clock deadline passed.
+    Deadline {
+        /// The configured deadline in milliseconds.
+        limit_ms: u64,
+        /// Elapsed milliseconds when the miss was observed.
+        elapsed_ms: u64,
+    },
+    /// The [`Governor`] cancellation token was set.
+    Cancelled,
+    /// A clause worker panicked; the panic was caught, the pipeline
+    /// completed, and the message is reported here instead of aborting
+    /// the process.
+    Internal(String),
+}
+
+impl CountError {
+    /// Whether a governed run may degrade this error to §4.6 bounds
+    /// (budget-style exhaustion: yes; divergence, cancellation and
+    /// panics: no).
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            CountError::BudgetExceeded { .. }
+                | CountError::Deadline { .. }
+                | CountError::TooComplex(_)
+        )
+    }
 }
 
 impl std::fmt::Display for CountError {
@@ -127,11 +168,57 @@ impl std::fmt::Display for CountError {
                 write!(f, "summation variable {var} is unbounded")
             }
             CountError::TooComplex(what) => write!(f, "computation too complex: {what}"),
+            CountError::BudgetExceeded {
+                resource,
+                limit,
+                spent,
+            } => write!(
+                f,
+                "budget exceeded: {resource} limit {limit}, spent {spent}"
+            ),
+            CountError::Deadline {
+                limit_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {limit_ms} ms limit, {elapsed_ms} ms elapsed"
+            ),
+            CountError::Cancelled => write!(f, "cancelled"),
+            CountError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }
 
 impl std::error::Error for CountError {}
+
+/// Errors from evaluating a [`Symbolic`] result at a concrete point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The value mentions a symbol the caller did not bind.
+    MissingSymbol {
+        /// Name of the first unbound symbol encountered.
+        name: String,
+    },
+    /// The value is not an integer at that point (for counts this
+    /// indicates a bug — counts are always integral).
+    NotIntegral {
+        /// The rational value, rendered.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingSymbol { name } => write!(f, "no binding for symbol {name}"),
+            EvalError::NotIntegral { value } => {
+                write!(f, "value {value} is not an integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// A symbolic result together with the space its guards refer to.
 ///
@@ -153,18 +240,62 @@ impl Symbolic {
     ///
     /// # Panics
     ///
-    /// Panics if a mentioned symbol has no binding.
+    /// Panics if a mentioned symbol has no binding; service callers
+    /// should prefer [`Symbolic::try_eval_i64`].
     pub fn eval_i64(&self, bindings: &[(&str, i64)]) -> Option<i64> {
-        self.value.eval_i64(&self.space, bindings)
+        match self.try_eval_i64(bindings) {
+            Ok(v) => Some(v),
+            Err(EvalError::NotIntegral { .. }) => None,
+            Err(e @ EvalError::MissingSymbol { .. }) => panic!("{e}"),
+        }
     }
 
     /// Evaluates to an exact rational with symbols bound by name.
     ///
     /// # Panics
     ///
-    /// Panics if a mentioned symbol has no binding.
+    /// Panics if a mentioned symbol has no binding; service callers
+    /// should prefer [`Symbolic::try_eval_rat`].
     pub fn eval_rat(&self, bindings: &[(&str, i64)]) -> Rat {
-        self.value.eval_named(&self.space, bindings)
+        self.try_eval_rat(bindings)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Symbolic::eval_i64`]: reports an unbound
+    /// symbol or a non-integral value as an [`EvalError`] instead of
+    /// panicking / losing the distinction in an `Option`.
+    pub fn try_eval_i64(&self, bindings: &[(&str, i64)]) -> Result<i64, EvalError> {
+        let r = self.try_eval_rat(bindings)?;
+        r.to_int()
+            .and_then(|i| i.to_i64())
+            .ok_or_else(|| EvalError::NotIntegral {
+                value: r.to_string(),
+            })
+    }
+
+    /// Fallible version of [`Symbolic::eval_rat`]: reports the first
+    /// unbound symbol as [`EvalError::MissingSymbol`] instead of
+    /// panicking.
+    pub fn try_eval_rat(&self, bindings: &[(&str, i64)]) -> Result<Rat, EvalError> {
+        // `GuardedValue::eval` drives evaluation through an infallible
+        // assignment closure; record the first miss on the side (and
+        // substitute zero to keep going) rather than threading Results
+        // through every guard and polynomial.
+        let missing: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+        let value = self.value.eval(&self.space, &|v| {
+            let name = self.space.name(v);
+            match bindings.iter().find(|(n, _)| *n == name) {
+                Some((_, val)) => Int::from(*val),
+                None => {
+                    missing.borrow_mut().get_or_insert_with(|| name.to_string());
+                    Int::zero()
+                }
+            }
+        });
+        match missing.into_inner() {
+            Some(name) => Err(EvalError::MissingSymbol { name }),
+            None => Ok(value),
+        }
     }
 
     /// Evaluates with an arbitrary assignment function.

@@ -59,7 +59,10 @@ pub fn sum_var_minmax(c: &Conjunct, v: VarId, coeffs: &[MExpr]) -> Result<MinMax
     }
     let fold = |bounds: &[presburger_omega::Bound], is_min: bool| -> MExpr {
         let mut it = bounds.iter().map(|b| MExpr::from_affine(&b.expr));
-        let first = it.next().expect("nonempty");
+        let first = it.next().expect(
+            "invariant: fold is only applied to the bound lists already \
+             checked non-empty above (the Unbounded early-return)",
+        );
         it.fold(first, |acc, e| {
             if is_min {
                 MExpr::min2(acc, e)

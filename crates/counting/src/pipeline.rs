@@ -25,13 +25,23 @@
 //! sequential run's. Span subtrees are grafted under the caller's open
 //! span (their relative order across workers follows worker index, and
 //! timings naturally vary run to run).
+//!
+//! # Panic isolation
+//!
+//! Each task body runs under [`std::panic::catch_unwind`]: a panic (or
+//! a governor budget [trip](presburger_trace::govern::trip)) in one
+//! clause is caught on the worker, converted to a [`CountError`], and
+//! merged in clause order like any other per-task result — the
+//! remaining tasks still run, and the process never aborts.
 
+use crate::govern::{error_from_panic, Runtime};
 use crate::projected::{sum_clause, Ctx};
 use crate::{CountError, CountOptions};
 use presburger_omega::{Conjunct, Space, VarId};
 use presburger_polyq::{GuardedValue, QPoly};
 use presburger_trace as trace;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// One independent unit of work: a clause of the disjoint DNF together
@@ -56,6 +66,15 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// What one clause task produced: its forked space (to be adopted by
+/// the caller, in clause order), the clause it summed (kept so a
+/// governed run can re-sum it under §4.6 bound modes), and the result.
+pub(crate) struct TaskOutcome {
+    pub(crate) space: Space,
+    pub(crate) clause: Conjunct,
+    pub(crate) result: Result<GuardedValue, CountError>,
+}
+
 /// Sums `z` over every clause and merges the partial results in clause
 /// order. The clauses must be pairwise disjoint (the caller obtains
 /// them from `SimplifyOptions::disjoint()`); fresh variables any task
@@ -71,65 +90,12 @@ pub(crate) fn run_clause_tasks(
     space: &mut Space,
     opts: &CountOptions,
 ) -> Result<GuardedValue, CountError> {
-    let n = clauses.len();
-    if n == 0 {
-        return Ok(GuardedValue::zero());
-    }
-    let forks = space.fork_many(n);
-    let tasks: VecDeque<ClauseTask> = clauses
-        .into_iter()
-        .zip(forks)
-        .enumerate()
-        .map(|(seq, (clause, space))| ClauseTask { seq, clause, space })
-        .collect();
-
-    let threads = resolve_threads(opts.threads).min(n);
-    let mut slots: Vec<Option<(Space, Result<GuardedValue, CountError>)>> =
-        (0..n).map(|_| None).collect();
-
-    if threads <= 1 {
-        for mut task in tasks {
-            let r = run_task(&mut task, vars, z, opts);
-            slots[task.seq] = Some((task.space, r));
-        }
-    } else {
-        let queue = Mutex::new(tasks);
-        let fork = trace::fork_scope();
-        std::thread::scope(|s| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    let queue = &queue;
-                    s.spawn(move || {
-                        let handle = fork.begin();
-                        let mut done = Vec::new();
-                        loop {
-                            let task = queue.lock().expect("queue poisoned").pop_front();
-                            let Some(mut task) = task else { break };
-                            let r = run_task(&mut task, vars, z, opts);
-                            done.push((task.seq, task.space, r));
-                        }
-                        (done, handle.finish())
-                    })
-                })
-                .collect();
-            for w in workers {
-                let (done, part) = w.join().expect("clause worker panicked");
-                trace::merge_fork_part(part);
-                for (seq, task_space, r) in done {
-                    slots[seq] = Some((task_space, r));
-                }
-            }
-        });
-    }
-
-    // Deterministic merge: clause order, independent of which worker
-    // computed what.
+    let outcomes = run_clause_tasks_raw(clauses, vars, z, space, opts, None);
     let mut acc = GuardedValue::zero();
     let mut first_err: Option<CountError> = None;
-    for slot in slots {
-        let (task_space, r) = slot.expect("every clause task ran");
-        space.adopt(&task_space);
-        match r {
+    for out in outcomes {
+        space.adopt(&out.space);
+        match out.result {
             Ok(v) => {
                 if first_err.is_none() {
                     acc.add(v);
@@ -146,6 +112,113 @@ pub(crate) fn run_clause_tasks(
         Some(e) => Err(e),
         None => Ok(acc),
     }
+}
+
+/// The pipeline core: runs every clause task (inline or on scoped
+/// workers) and returns the per-task outcomes **in clause order**,
+/// leaving space adoption and result merging to the caller. With
+/// `gov: Some(..)` each task installs a governed region for its
+/// duration, so budget trips are charged per task.
+pub(crate) fn run_clause_tasks_raw(
+    clauses: Vec<Conjunct>,
+    vars: &[VarId],
+    z: &QPoly,
+    space: &mut Space,
+    opts: &CountOptions,
+    gov: Option<&Runtime>,
+) -> Vec<TaskOutcome> {
+    let n = clauses.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let forks = space.fork_many(n);
+    let tasks: VecDeque<ClauseTask> = clauses
+        .into_iter()
+        .zip(forks)
+        .enumerate()
+        .map(|(seq, (clause, space))| ClauseTask { seq, clause, space })
+        .collect();
+
+    let threads = resolve_threads(opts.threads).min(n);
+    let mut slots: Vec<Option<TaskOutcome>> = (0..n).map(|_| None).collect();
+
+    if threads <= 1 {
+        for mut task in tasks {
+            let result = run_task_caught(&mut task, vars, z, opts, gov);
+            slots[task.seq] = Some(TaskOutcome {
+                space: task.space,
+                clause: task.clause,
+                result,
+            });
+        }
+    } else {
+        let queue = Mutex::new(tasks);
+        let fork = trace::fork_scope();
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let queue = &queue;
+                    s.spawn(move || {
+                        let handle = fork.begin();
+                        let mut done = Vec::new();
+                        loop {
+                            // A task body cannot poison the lock (its
+                            // panics are caught inside run_task_caught),
+                            // but stay tolerant anyway: the queue is a
+                            // plain VecDeque, valid at every point.
+                            let task = queue
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .pop_front();
+                            let Some(mut task) = task else { break };
+                            let result = run_task_caught(&mut task, vars, z, opts, gov);
+                            done.push((
+                                task.seq,
+                                TaskOutcome {
+                                    space: task.space,
+                                    clause: task.clause,
+                                    result,
+                                },
+                            ));
+                        }
+                        (done, handle.finish())
+                    })
+                })
+                .collect();
+            for w in workers {
+                let (done, part) = w.join().expect(
+                    "invariant: worker bodies catch task panics (run_task_caught), \
+                     so a worker thread itself never panics",
+                );
+                trace::merge_fork_part(part);
+                for (seq, outcome) in done {
+                    slots[seq] = Some(outcome);
+                }
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("invariant: the queue drains fully, so every slot was filled"))
+        .collect()
+}
+
+/// Runs one task under `catch_unwind`, installing the governed region
+/// (when present) inside the boundary so both budget trips and genuine
+/// panics surface as per-task `CountError`s.
+fn run_task_caught(
+    task: &mut ClauseTask,
+    vars: &[VarId],
+    z: &QPoly,
+    opts: &CountOptions,
+    gov: Option<&Runtime>,
+) -> Result<GuardedValue, CountError> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _g = gov.map(Runtime::enter_task);
+        run_task(task, vars, z, opts)
+    }));
+    result.unwrap_or_else(|payload| Err(error_from_panic(payload)))
 }
 
 fn run_task(

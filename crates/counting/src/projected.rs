@@ -33,6 +33,9 @@ pub(crate) struct Ctx<'a> {
     pub space: &'a mut Space,
     opts: &'a CountOptions,
     budget: u64,
+    /// Current [`sum_clause`] recursion depth, reported as the
+    /// `sum_depth` gauge (which the governor can cap).
+    depth: u64,
 }
 
 impl<'a> Ctx<'a> {
@@ -41,6 +44,7 @@ impl<'a> Ctx<'a> {
             space,
             opts,
             budget: 100_000,
+            depth: 0,
         }
     }
 
@@ -70,6 +74,23 @@ impl<'a> Ctx<'a> {
 
 /// Sums `z` over the integer points of an arbitrary clause (§4.5).
 pub(crate) fn sum_clause(
+    c: &Conjunct,
+    vars: &[VarId],
+    z: &QPoly,
+    ctx: &mut Ctx<'_>,
+) -> Result<GuardedValue, CountError> {
+    // Depth bookkeeping around the real body: the gauge is what the
+    // governor's elimination-recursion budget charges against. The
+    // counter is not restored on unwind, but a trip discards the whole
+    // Ctx with it.
+    ctx.depth += 1;
+    presburger_trace::record_max(presburger_trace::Counter::SumDepth, ctx.depth);
+    let r = sum_clause_inner(c, vars, z, ctx);
+    ctx.depth -= 1;
+    r
+}
+
+fn sum_clause_inner(
     c: &Conjunct,
     vars: &[VarId],
     z: &QPoly,

@@ -231,6 +231,11 @@ impl Conjunct {
     /// Sets the contradiction flag (see [`Conjunct::is_false`]) when a
     /// syntactic contradiction is found.
     pub fn normalize(&mut self) {
+        // The innermost heartbeat of the whole pipeline: every clause
+        // manipulation funnels through here, which makes this counter
+        // the governor's most responsive deadline/cancellation
+        // checkpoint (a single thread-local load when ungoverned).
+        presburger_trace::bump(presburger_trace::Counter::NormalizeCalls);
         if self.contradiction {
             return;
         }

@@ -21,13 +21,17 @@ use crate::feasible::is_feasible;
 use crate::redundant::gist;
 use crate::space::Space;
 
+/// Extraction rounds shared by every component of one conversion;
+/// exhaustion unwinds as a `"disjoint_conversion_fuel"` budget trip.
+const DISJOINT_FUEL: u64 = 500;
+
 /// Converts a list of possibly-overlapping clauses into an equivalent
 /// list of pairwise-disjoint clauses.
 pub fn make_disjoint(clauses: Vec<Conjunct>, space: &mut Space) -> Vec<Conjunct> {
     let _span = presburger_trace::span("make_disjoint");
     let clauses = prune_subsets(clauses, space);
     let mut out = Vec::new();
-    let mut fuel = 500usize;
+    let mut fuel = DISJOINT_FUEL;
     for component in components(clauses, space) {
         out.extend(disjoint_component(component, space, &mut fuel));
     }
@@ -83,12 +87,21 @@ fn overlap_graph(clauses: &[Conjunct], space: &mut Space) -> Vec<Vec<bool>> {
 fn disjoint_component(
     mut clauses: Vec<Conjunct>,
     space: &mut Space,
-    fuel: &mut usize,
+    fuel: &mut u64,
 ) -> Vec<Conjunct> {
     let mut out = Vec::new();
     loop {
-        *fuel = fuel.saturating_sub(1);
-        assert!(*fuel > 0, "disjoint DNF conversion exhausted its budget");
+        *fuel -= 1;
+        if *fuel == 0 {
+            // Input-reachable (§5.3 extraction can keep producing
+            // overlap on adversarial unions): unwind as a budget trip
+            // instead of aborting the process.
+            presburger_trace::govern::trip(
+                "disjoint_conversion_fuel",
+                DISJOINT_FUEL,
+                DISJOINT_FUEL,
+            );
+        }
         if clauses.len() <= 1 {
             out.extend(clauses);
             return out;

@@ -266,6 +266,10 @@ fn cross(a: &[Conjunct], b: &[Conjunct]) -> Vec<Conjunct> {
             c.and(cb);
             c.normalize();
             if !c.is_false() {
+                // charged per clause *as the expansion happens* so a
+                // governed run can trip mid-blowup (§2.5 is the
+                // exponential step of DNF conversion)
+                trace::bump(Counter::DnfWorkClauses);
                 out.push(c);
             }
         }
@@ -355,12 +359,19 @@ fn negate_stride_clause(c: &Conjunct, space: &mut Space) -> Vec<Conjunct> {
 /// constraints' implicit quantifiers. This converts the paper's
 /// *projected format* into *stride format* (§2.1).
 pub fn project_wildcards(c: &Conjunct, space: &mut Space, mode: Shadow) -> Vec<Conjunct> {
+    const FUEL: u64 = 2000;
     let mut work = vec![c.clone()];
     let mut out = Vec::new();
-    let mut fuel = 2000usize;
+    let mut fuel = FUEL;
     while let Some(mut c) = work.pop() {
-        fuel = fuel.saturating_sub(1);
-        assert!(fuel > 0, "wildcard projection exhausted its work budget");
+        fuel -= 1;
+        if fuel == 0 {
+            // Input-reachable (pathological wildcard systems splinter
+            // here): unwind as a budget trip so the counting pipeline
+            // reports a structured error — or degrades to §4.6 bounds
+            // — instead of aborting.
+            trace::govern::trip("wildcard_projection_fuel", FUEL, FUEL);
+        }
         solve_wildcard_equalities(&mut c, space);
         if c.is_false() {
             continue;

@@ -189,11 +189,11 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                     s.normalize();
                     let mut kept = false;
                     if !s.is_false() {
-                        let idx = s
-                            .eqs()
-                            .iter()
-                            .position(|e| e.mentions(v))
-                            .expect("splinter equality must mention v");
+                        let idx = s.eqs().iter().position(|e| e.mentions(v)).expect(
+                            "invariant: the splinter construction just added an \
+                                 equality c·v = e + i that mentions v, and normalize \
+                                 never drops an equality over a live variable",
+                        );
                         let r = eliminate_via_equality(&s, v, idx);
                         if !r.is_false() {
                             trace::explain(|| {
@@ -301,7 +301,11 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
                 clauses,
             }
         }
-        _ => unreachable!(),
+        _ => unreachable!(
+            "invariant: eliminate_exact is only called for \
+             Shadow::ExactOverlapping / Shadow::ExactDisjoint; Real and \
+             Dark are dispatched before it"
+        ),
     }
 }
 

@@ -74,7 +74,11 @@ fn pick_variable(c: &Conjunct, vars: &[VarId]) -> VarId {
             best = Some((*v, cost));
         }
     }
-    best.expect("no variable to pick").0
+    best.expect(
+        "invariant: pick_variable is only called when the clause still \
+         mentions a variable (the caller returns before this otherwise)",
+    )
+    .0
 }
 
 #[cfg(test)]

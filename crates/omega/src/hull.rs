@@ -146,7 +146,10 @@ fn add_facets(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId]) {
                 }
             }
         }
-        _ => unreachable!(),
+        _ => unreachable!(
+            "invariant: offset summaries are 1-, 2- or 3-dimensional \
+             (the caller bounds vars.len() before building the hull)"
+        ),
     }
 }
 
@@ -250,10 +253,10 @@ fn count_box_points(c: &Conjunct, points: &[Vec<i64>], vars: &[VarId]) -> u64 {
 
 fn eval_at(e: &Affine, vars: &[VarId], values: &[i64]) -> Int {
     e.eval(&|v| {
-        let idx = vars
-            .iter()
-            .position(|x| *x == v)
-            .expect("unexpected variable in offset summary");
+        let idx = vars.iter().position(|x| *x == v).expect(
+            "invariant: every constraint built by summarize mentions \
+                 only the distance variables in `vars`",
+        );
         Int::from(values[idx])
     })
 }

@@ -326,7 +326,8 @@ impl<'a> Parser<'a> {
         if start == self.pos {
             return Err(self.error("expected an integer"));
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("invariant: a run of ASCII digits is valid UTF-8");
         text.parse::<Int>()
             .map_err(|_| self.error("invalid integer"))
     }
@@ -342,7 +343,8 @@ impl<'a> Parser<'a> {
         if start == self.pos || self.input[start].is_ascii_digit() {
             return Err(self.error("expected a variable name"));
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii name");
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("invariant: a run of ASCII alphanumerics/underscores is valid UTF-8");
         if ["exists", "forall", "true", "false"].contains(&text) {
             self.pos = start;
             return Err(self.error("keyword used as a variable name"));

@@ -111,6 +111,21 @@ counters! {
     HpRewriteSteps => "hp_rewrite_steps" / count,
     /// Fahringer (FST) baseline: inclusion–exclusion summation terms.
     FstSummations => "fst_summations" / count,
+    /// Clauses produced by DNF cross-products (§2.5) — charged
+    /// incrementally, so runaway expansion is observable (and
+    /// governable) *while* it happens, not after.
+    DnfWorkClauses => "dnf_work_clauses" / count,
+    /// `Conjunct::normalize` passes — the innermost heartbeat of the
+    /// pipeline, and the governor's most frequent deadline checkpoint.
+    NormalizeCalls => "normalize_calls" / count,
+    /// Deepest `sum_clause` recursion reached (gauge).
+    SumDepth => "sum_depth" / gauge,
+    /// Budget / deadline / cancellation trips raised by the governor.
+    GovernorTrips => "governor_trips" / count,
+    /// Clauses degraded from exact counting to §4.6 bounds.
+    ClausesDegraded => "clauses_degraded" / count,
+    /// Worker panics caught and isolated by the clause pipeline.
+    WorkerPanics => "worker_panics" / count,
 }
 
 impl fmt::Display for Counter {
@@ -178,9 +193,19 @@ pub(crate) fn reset() {
 }
 
 /// An owned snapshot of every pipeline counter.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PipelineStats {
     values: [u64; NUM_COUNTERS],
+}
+
+impl Default for PipelineStats {
+    /// All-zero (the registry now exceeds the array sizes `derive`
+    /// handles).
+    fn default() -> PipelineStats {
+        PipelineStats {
+            values: [0; NUM_COUNTERS],
+        }
+    }
 }
 
 impl PipelineStats {

@@ -37,6 +37,7 @@
 
 pub mod counters;
 pub mod fork;
+pub mod govern;
 pub mod json;
 pub mod span;
 
@@ -46,56 +47,95 @@ pub use span::{explain, span, span_dyn, SpanGuard, SpanTree};
 
 use std::cell::Cell;
 
+/// Counter collection is on for the current thread.
+pub(crate) const FLAG_COUNTING: u8 = 1 << 0;
+/// Span/explain collection is on for the current thread.
+pub(crate) const FLAG_TRACING: u8 = 1 << 1;
+/// A governed region ([`govern::install`]) is active on this thread:
+/// counter hooks also charge its budgets.
+pub(crate) const FLAG_GOVERNED: u8 = 1 << 2;
+
 thread_local! {
-    static COUNTING: Cell<bool> = const { Cell::new(false) };
-    static TRACING: Cell<bool> = const { Cell::new(false) };
+    /// All per-thread instrumentation switches in one byte, so the
+    /// disabled fast path of every hook is a single thread-local load.
+    static FLAGS: Cell<u8> = const { Cell::new(0) };
+}
+
+#[inline]
+fn flags() -> u8 {
+    FLAGS.with(Cell::get)
+}
+
+pub(crate) fn set_flag(bit: u8, on: bool) {
+    FLAGS.with(|f| {
+        let v = f.get();
+        f.set(if on { v | bit } else { v & !bit });
+    });
 }
 
 /// Turns counter collection on or off for the current thread.
 pub fn enable_counters(on: bool) {
-    COUNTING.with(|c| c.set(on));
+    set_flag(FLAG_COUNTING, on);
 }
 
 /// Whether counters are being collected on the current thread.
 #[inline]
 pub fn counting() -> bool {
-    COUNTING.with(Cell::get)
+    flags() & FLAG_COUNTING != 0
 }
 
 /// Turns span/explain collection on or off for the current thread.
 /// Spans allocate (labels, tree nodes), so they are gated separately
 /// from the cheap counters.
 pub fn enable_tracing(on: bool) {
-    TRACING.with(|c| c.set(on));
+    set_flag(FLAG_TRACING, on);
 }
 
 /// Whether spans and explain events are being collected on the current
 /// thread.
 #[inline]
 pub fn tracing() -> bool {
-    TRACING.with(Cell::get)
+    flags() & FLAG_TRACING != 0
 }
 
-/// Adds 1 to `counter` (no-op unless [`enable_counters`] is on).
+/// Adds 1 to `counter` (no-op unless [`enable_counters`] is on or a
+/// governed region is installed).
 #[inline]
 pub fn bump(counter: Counter) {
     add(counter, 1);
 }
 
-/// Adds `n` to `counter` (no-op unless [`enable_counters`] is on).
+/// Adds `n` to `counter`. Collected when [`enable_counters`] is on;
+/// additionally charged against the installed [`govern`] region, if
+/// any. A no-op (one thread-local load) when both are off.
 #[inline]
 pub fn add(counter: Counter, n: u64) {
-    if counting() {
+    let f = flags();
+    if f & (FLAG_COUNTING | FLAG_GOVERNED) == 0 {
+        return;
+    }
+    if f & FLAG_COUNTING != 0 {
         counters::add_raw(counter, n);
+    }
+    if f & FLAG_GOVERNED != 0 {
+        govern::charge(counter, n);
     }
 }
 
-/// Raises the gauge `counter` to `value` if it is currently lower
-/// (no-op unless [`enable_counters`] is on).
+/// Raises the gauge `counter` to `value` if it is currently lower.
+/// Collected when [`enable_counters`] is on; additionally charged
+/// against the installed [`govern`] region, if any.
 #[inline]
 pub fn record_max(counter: Counter, value: u64) {
-    if counting() {
+    let f = flags();
+    if f & (FLAG_COUNTING | FLAG_GOVERNED) == 0 {
+        return;
+    }
+    if f & FLAG_COUNTING != 0 {
         counters::max_raw(counter, value);
+    }
+    if f & FLAG_GOVERNED != 0 {
+        govern::charge_gauge(counter, value);
     }
 }
 

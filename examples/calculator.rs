@@ -18,17 +18,35 @@
 //!   and print them as an indented derivation tree;
 //! * `--json` — with `--stats`/`--trace`, emit JSON instead of text;
 //! * `--threads N` — drain the clause pipeline with `N` worker threads
-//!   (`0` = one per core). Answers are byte-identical at any setting.
+//!   (`0` = one per core). Answers are byte-identical at any setting;
+//! * `--timeout MS` — govern the query with a wall-clock deadline of
+//!   `MS` milliseconds;
+//! * `--max-splinters N` — govern the query with a cap on §5.2
+//!   splinters per clause;
+//! * `--degrade=bounds|error` — what a governed query does when it
+//!   exhausts a budget: degrade to the paper's §4.6 lower/upper bounds
+//!   (the default) or fail with the budget error.
 
 use presburger::prelude::*;
 use presburger_counting::try_count_solutions;
 use presburger_omega::parse_formula;
+use std::time::Duration;
 
 struct Options {
     stats: bool,
     trace: bool,
     json: bool,
     threads: usize,
+    timeout_ms: Option<u64>,
+    max_splinters: Option<u64>,
+    degrade: Option<DegradePolicy>,
+}
+
+impl Options {
+    /// Any governor flag present → run the query governed.
+    fn governed(&self) -> bool {
+        self.timeout_ms.is_some() || self.max_splinters.is_some() || self.degrade.is_some()
+    }
 }
 
 fn run_query(query: &str, opts: &Options) -> Result<(), String> {
@@ -63,26 +81,50 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
         threads: opts.threads,
         ..CountOptions::default()
     };
-    let count = try_count_solutions(&space, &f, &vars, &count_opts).map_err(|e| e.to_string())?;
     println!("> {query}");
-    println!("  = {}", count.to_display_string());
-    if !symbols.is_empty() {
-        // tabulate a few sample values of the first symbol
-        let name = &symbols[0];
-        let fixed: Vec<(&str, i64)> = symbols[1..].iter().map(|s| (s.as_str(), 10)).collect();
-        print!("  {name} =");
-        for v in [0i64, 1, 2, 5, 10, 100] {
-            let mut bindings = fixed.clone();
-            bindings.push((name.as_str(), v));
-            match count.eval_i64(&bindings) {
-                Some(c) => print!("  {v}→{c}"),
-                None => print!("  {v}→?"),
+    let fmt = |c: Option<i64>| c.map_or_else(|| "?".to_string(), |c| c.to_string());
+    if opts.governed() {
+        let gov = Governor::new(Budgets {
+            deadline: opts.timeout_ms.map(Duration::from_millis),
+            max_splinters: opts.max_splinters,
+            ..Budgets::unlimited()
+        })
+        .with_degrade(opts.degrade.unwrap_or_default());
+        let out = presburger::try_count_solutions_governed(&space, &f, &vars, &count_opts, &gov)
+            .map_err(|e| e.to_string())?;
+        match out {
+            Outcome::Exact(count) => {
+                println!("  = {}", count.to_display_string());
+                print_samples(&symbols, &|b| fmt(count.eval_i64(b)));
+            }
+            Outcome::Bounded {
+                lower,
+                upper,
+                why,
+                clauses,
+            } => {
+                let degraded = clauses
+                    .iter()
+                    .filter(|c| !matches!(c, ClauseStatus::Exact))
+                    .count();
+                println!(
+                    "  degraded to §4.6 bounds ({why}; {degraded}/{} clauses)",
+                    clauses.len()
+                );
+                println!("  lower = {}", lower.to_display_string());
+                println!("  upper = {}", upper.to_display_string());
+                // The §4.6 bounds are rational-valued (the exact count
+                // between them is the integer), so render them exactly.
+                print_samples(&symbols, &|b| {
+                    format!("[{},{}]", lower.eval_rat(b), upper.eval_rat(b))
+                });
             }
         }
-        if symbols.len() > 1 {
-            print!("   (other symbols fixed at 10)");
-        }
-        println!();
+    } else {
+        let count =
+            try_count_solutions(&space, &f, &vars, &count_opts).map_err(|e| e.to_string())?;
+        println!("  = {}", count.to_display_string());
+        print_samples(&symbols, &|b| fmt(count.eval_i64(b)));
     }
     if opts.trace {
         let tree = presburger::trace::span::take_tree();
@@ -106,12 +148,38 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one sample row given the symbol bindings for that row.
+type SampleRenderer<'a> = &'a dyn Fn(&[(&str, i64)]) -> String;
+
+/// Tabulates sample values of the first symbol, with every other
+/// symbol fixed at 10.
+fn print_samples(symbols: &[String], render: SampleRenderer) {
+    if symbols.is_empty() {
+        return;
+    }
+    let name = &symbols[0];
+    let fixed: Vec<(&str, i64)> = symbols[1..].iter().map(|s| (s.as_str(), 10)).collect();
+    print!("  {name} =");
+    for v in [0i64, 1, 2, 5, 10, 100] {
+        let mut bindings = fixed.clone();
+        bindings.push((name.as_str(), v));
+        print!("  {v}→{}", render(&bindings));
+    }
+    if symbols.len() > 1 {
+        print!("   (other symbols fixed at 10)");
+    }
+    println!();
+}
+
 fn main() {
     let mut opts = Options {
         stats: false,
         trace: false,
         json: false,
         threads: CountOptions::default().threads,
+        timeout_ms: None,
+        max_splinters: None,
+        degrade: None,
     };
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -127,6 +195,22 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--timeout" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(ms)) => opts.timeout_ms = Some(ms),
+                _ => {
+                    eprintln!("--timeout needs a deadline in milliseconds");
+                    std::process::exit(2);
+                }
+            },
+            "--max-splinters" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => opts.max_splinters = Some(n),
+                _ => {
+                    eprintln!("--max-splinters needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--degrade=bounds" => opts.degrade = Some(DegradePolicy::Bounds),
+            "--degrade=error" => opts.degrade = Some(DegradePolicy::Error),
             _ => rest.push(arg),
         }
     }

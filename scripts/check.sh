@@ -37,7 +37,30 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
-echo "==> trace overhead smoke (disabled collector < 5% of E3)"
+echo "==> fault-injection matrix (every budget kind + cancellation + worker panic)"
+# Each entry arms one fault site through PRESBURGER_FAULT and runs the
+# governed integration test, which asserts the documented outcome for
+# that site (DESIGN.md §9): counter sites degrade to §4.6 bounds (or
+# surface the budget error when tripped in the DNF phase), deadline
+# behaves like a budget, cancel errors with Cancelled, and :panic
+# exercises panic isolation (caught, reported as Internal).
+for fault in \
+    splinters_generated:1 \
+    dnf_work_clauses:2 \
+    normalize_calls:1 \
+    sum_depth:1 \
+    convex_leaf_pieces:1 \
+    max_coeff_bits:1 \
+    deadline:8 \
+    cancel:8 \
+    splinters_generated:1:panic
+do
+    echo "    PRESBURGER_FAULT=$fault"
+    PRESBURGER_FAULT=$fault cargo test --release -q --test governed fault_injection_from_env \
+        > /dev/null
+done
+
+echo "==> trace overhead smoke (disabled collector & governor < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 
 echo "All checks passed."

@@ -92,10 +92,42 @@ pub fn resolve_threads(requested: usize) -> usize {
     presburger_counting::pipeline::resolve_threads(requested)
 }
 
+/// Resource-governed counting: budgets, deadlines, cancellation, and
+/// graceful degradation to the paper's §4.6 bounds. See
+/// [`counting::govern`] for the full story.
+///
+/// ```
+/// use presburger::prelude::*;
+/// use std::time::Duration;
+///
+/// let mut space = Space::new();
+/// let n = space.symbol("n");
+/// let i = space.var("i");
+/// let f = Formula::and(vec![
+///     Formula::ge(Affine::var(i) - Affine::constant(1)),
+///     Formula::ge(Affine::var(n) - Affine::var(i)),
+/// ]);
+/// let gov = Governor::new(Budgets {
+///     deadline: Some(Duration::from_secs(5)),
+///     ..Budgets::unlimited()
+/// });
+/// let out =
+///     try_count_solutions_governed(&space, &f, &[i], &CountOptions::default(), &gov).unwrap();
+/// assert!(out.is_exact());
+/// ```
+pub use presburger_counting::{
+    try_count_solutions_governed, try_sum_polynomial_governed, Budgets, ClauseStatus, CountError,
+    DegradePolicy, EvalError, Governor, Outcome,
+};
+
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use presburger_arith::{Int, Rat};
-    pub use presburger_counting::{count_solutions, sum_polynomial, CountOptions, Mode};
+    pub use presburger_counting::{
+        count_solutions, sum_polynomial, try_count_solutions, try_count_solutions_governed,
+        try_sum_polynomial_governed, Budgets, ClauseStatus, CountError, CountOptions,
+        DegradePolicy, EvalError, Governor, Mode, Outcome,
+    };
     pub use presburger_omega::{Affine, Constraint, Formula, Space, VarId};
     pub use presburger_polyq::{GuardedValue, QPoly};
 }

@@ -9,6 +9,7 @@ use presburger::prelude::*;
 use presburger_arith::Int as BigInt;
 use presburger_counting::{enumerate, try_count_solutions, try_sum_polynomial};
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Raw coefficients for one extra constraint `a·i + b·j + c·n + k ≥ 0`.
 type RawAtom = (i64, i64, i64, i64);
@@ -175,6 +176,78 @@ proptest! {
             let u = hi.eval_rat(&[("n", nv)]);
             let l = lo.eval_rat(&[("n", nv)]);
             prop_assert!(l <= e && e <= u, "n={}: {} <= {} <= {} violated", nv, l, e, u);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Governed counting is total: under tight budgets and a deadline,
+    /// random formulas never panic — they return Exact, Bounded, or a
+    /// structured error — and never run past ~2× the deadline (the
+    /// degrade-deadline guarantee), at 1 and at 4 worker threads.
+    #[test]
+    fn no_panic_under_governed_budgets(
+        atoms in proptest::collection::vec(
+            (-4i64..=4, -4i64..=4, -1i64..=1, -8i64..=8),
+            1..5,
+        ),
+        m in 2i64..=4,
+        hole in (-2i64..=3, 0i64..=3),
+    ) {
+        let mut s = Space::new();
+        let i = s.var("i");
+        let j = s.var("j");
+        let n = s.var("n");
+        let mut parts = vec![
+            Formula::between(Affine::constant(-4), i, Affine::constant(6)),
+            Formula::between(Affine::constant(-4), j, Affine::constant(6)),
+            Formula::stride(m, Affine::var(i)),
+            Formula::not(Formula::between(
+                Affine::constant(hole.0),
+                j,
+                Affine::constant(hole.0 + hole.1),
+            )),
+        ];
+        for (a, b, c, k) in atoms {
+            let _: RawAtom = (a, b, c, k);
+            parts.push(Formula::ge(Affine::from_terms(&[(i, a), (j, b), (n, c)], k)));
+        }
+        let f = Formula::and(parts);
+        const DEADLINE: Duration = Duration::from_millis(250);
+        for threads in [1usize, 4] {
+            let gov = Governor::new(Budgets {
+                deadline: Some(DEADLINE),
+                max_splinters: Some(8),
+                max_dnf_clauses: Some(64),
+                max_depth: Some(4),
+                max_pieces: Some(16),
+                max_coeff_bits: Some(128),
+            });
+            let opts = CountOptions { threads, ..CountOptions::default() };
+            let started = Instant::now();
+            // Totality IS the assertion: a panic here fails the test.
+            let outcome = try_count_solutions_governed(&s, &f, &[i, j], &opts, &gov);
+            let elapsed = started.elapsed();
+            // 2× the deadline plus slack for scheduling noise and the
+            // ungoverned polish pass.
+            prop_assert!(
+                elapsed <= DEADLINE * 2 + Duration::from_millis(750),
+                "threads={}: governed run took {:?}",
+                threads,
+                elapsed
+            );
+            match outcome {
+                Ok(Outcome::Exact(_)) | Ok(Outcome::Bounded { .. }) => {}
+                Err(
+                    CountError::Unbounded { .. }
+                    | CountError::TooComplex(_)
+                    | CountError::BudgetExceeded { .. }
+                    | CountError::Deadline { .. },
+                ) => {}
+                Err(e) => prop_assert!(false, "threads={}: unexpected error {}", threads, e),
+            }
         }
     }
 }
