@@ -159,6 +159,49 @@ impl Matrix {
             .collect()
     }
 
+    /// The determinant, by Bareiss fraction-free elimination (every
+    /// intermediate division is exact, so entries stay integral and
+    /// polynomially bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> Int {
+        assert_eq!(self.rows, self.cols, "determinant of a non-square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return Int::one();
+        }
+        let mut m = self.clone();
+        let mut sign = 1i32;
+        let mut prev = Int::one();
+        for k in 0..n - 1 {
+            if m[(k, k)].is_zero() {
+                let Some(p) = (k + 1..n).find(|&i| !m[(i, k)].is_zero()) else {
+                    return Int::zero();
+                };
+                m.swap_rows(k, p);
+                sign = -sign;
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let num = &(&m[(k, k)] * &m[(i, j)]) - &(&m[(i, k)] * &m[(k, j)]);
+                    let (q, r) = num.div_rem(&prev);
+                    debug_assert!(r.is_zero(), "Bareiss division must be exact");
+                    m[(i, j)] = q;
+                }
+                m[(i, k)] = Int::zero();
+            }
+            prev = m[(k, k)].clone();
+        }
+        let d = m[(n - 1, n - 1)].clone();
+        if sign < 0 {
+            -d
+        } else {
+            d
+        }
+    }
+
     /// Extracts column `j` as a vector.
     pub fn col(&self, j: usize) -> Vec<Int> {
         (0..self.rows).map(|i| self[(i, j)].clone()).collect()

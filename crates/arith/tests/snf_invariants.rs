@@ -1,0 +1,136 @@
+//! Unimodularity and divisibility invariants of the Smith and Hermite
+//! normal forms under random matrices.
+//!
+//! The in-crate tests check `U·A·V = D` and the divisibility chain on
+//! hand-picked inputs; this file pins the full contract — including the
+//! part nothing else exercised: `U` and `V` really are *unimodular*
+//! (`|det| = 1`), which is what makes the §4.5.2 change of variables
+//! count-preserving.
+
+use presburger_arith::smith::{hermite_normal_form, smith_normal_form};
+use presburger_arith::{Int, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, entries: &[i64]) -> Matrix {
+    Matrix::from_i64(rows, cols, &entries[..rows * cols])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Smith: `U·A·V = D`, `U`/`V` unimodular, `D` diagonal with
+    /// non-negative entries and `D[i,i] | D[i+1,i+1]`.
+    #[test]
+    fn smith_full_contract(
+        rows in 1usize..=4,
+        cols in 1usize..=4,
+        entries in proptest::collection::vec(-9i64..=9, 16),
+    ) {
+        let a = matrix(rows, cols, &entries);
+        let snf = smith_normal_form(&a);
+
+        prop_assert_eq!(&(&snf.u * &a) * &snf.v, snf.d.clone());
+        prop_assert_eq!(snf.u.det().abs(), Int::one(), "U not unimodular: {}", snf.u);
+        prop_assert_eq!(snf.v.det().abs(), Int::one(), "V not unimodular: {}", snf.v);
+
+        let dim = rows.min(cols);
+        for i in 0..snf.d.rows() {
+            for j in 0..snf.d.cols() {
+                if i != j {
+                    prop_assert!(snf.d[(i, j)].is_zero(), "off-diagonal at ({i},{j}): {}", snf.d);
+                }
+            }
+        }
+        for i in 0..dim {
+            prop_assert!(!snf.d[(i, i)].is_negative(), "negative diagonal: {}", snf.d);
+        }
+        for i in 0..snf.rank {
+            prop_assert!(!snf.d[(i, i)].is_zero(), "rank overcounts: {}", snf.d);
+            if i + 1 < snf.rank {
+                prop_assert!(
+                    snf.d[(i, i)].divides(&snf.d[(i + 1, i + 1)]),
+                    "divisibility chain broken: {}",
+                    snf.d
+                );
+            }
+        }
+        for i in snf.rank..dim {
+            prop_assert!(snf.d[(i, i)].is_zero(), "rank undercounts: {}", snf.d);
+        }
+    }
+
+    /// Hermite: `H = A·Q` with `Q` unimodular and `H` lower triangular.
+    #[test]
+    fn hermite_full_contract(
+        rows in 1usize..=4,
+        cols in 1usize..=4,
+        entries in proptest::collection::vec(-9i64..=9, 16),
+    ) {
+        let a = matrix(rows, cols, &entries);
+        let (h, q) = hermite_normal_form(&a);
+
+        prop_assert_eq!(&a * &q, h.clone());
+        prop_assert_eq!(q.det().abs(), Int::one(), "Q not unimodular: {}", q);
+    }
+
+    /// The Bareiss determinant agrees with cofactor expansion and is
+    /// multiplicative (`det(A·B) = det(A)·det(B)`).
+    #[test]
+    fn det_matches_cofactor_expansion(
+        n in 1usize..=4,
+        ea in proptest::collection::vec(-9i64..=9, 16),
+        eb in proptest::collection::vec(-9i64..=9, 16),
+    ) {
+        fn cofactor_det(m: &Matrix) -> Int {
+            let n = m.rows();
+            if n == 1 {
+                return m[(0, 0)].clone();
+            }
+            let mut acc = Int::zero();
+            for j in 0..n {
+                if m[(0, j)].is_zero() {
+                    continue;
+                }
+                let mut sub = Matrix::zero(n - 1, n - 1);
+                for i in 1..n {
+                    let mut jj = 0;
+                    for k in 0..n {
+                        if k != j {
+                            sub[(i - 1, jj)] = m[(i, k)].clone();
+                            jj += 1;
+                        }
+                    }
+                }
+                let term = &m[(0, j)] * &cofactor_det(&sub);
+                if j % 2 == 0 {
+                    acc += &term;
+                } else {
+                    acc -= &term;
+                }
+            }
+            acc
+        }
+
+        let a = matrix(n, n, &ea);
+        let b = matrix(n, n, &eb);
+        prop_assert_eq!(a.det(), cofactor_det(&a));
+        prop_assert_eq!((&a * &b).det(), &a.det() * &b.det());
+    }
+}
+
+/// Determinant edge cases the property tests would only hit by luck.
+#[test]
+fn det_edge_cases() {
+    assert_eq!(Matrix::zero(0, 0).det(), Int::one());
+    assert_eq!(Matrix::identity(5).det(), Int::one());
+    assert_eq!(Matrix::zero(3, 3).det(), Int::zero());
+    // Singular but with a non-zero leading pivot.
+    assert_eq!(Matrix::from_i64(2, 2, &[2, 4, 1, 2]).det(), Int::zero());
+    // Needs a row swap (zero pivot with recoverable rank).
+    assert_eq!(Matrix::from_i64(2, 2, &[0, 1, 1, 0]).det(), Int::from(-1));
+    // Sign and magnitude on a 3x3.
+    assert_eq!(
+        Matrix::from_i64(3, 3, &[2, -3, 1, 2, 0, -1, 1, 4, 5]).det(),
+        Int::from(49)
+    );
+}

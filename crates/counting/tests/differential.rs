@@ -1,9 +1,11 @@
 //! Heavier differential tests for the counting engine: deeper nests,
 //! mixed strides/equalities/negations with a symbolic parameter, and
-//! polynomial summands — all validated against brute force.
+//! polynomial summands — all validated against the shared brute-force
+//! oracle (`presburger_gen::oracle`).
 
 use presburger_arith::{Int, Rat};
-use presburger_counting::{enumerate, try_count_solutions, try_sum_polynomial, CountOptions};
+use presburger_counting::{try_count_solutions, try_sum_polynomial, CountOptions};
+use presburger_gen::oracle::{brute_force, brute_sum};
 use presburger_omega::{Affine, Formula, Space, VarId};
 use presburger_polyq::QPoly;
 use proptest::prelude::*;
@@ -18,7 +20,7 @@ fn check_against_brute(
     let sym = try_count_solutions(s, f, vars, &CountOptions::default())
         .map_err(|e| TestCaseError::fail(format!("count failed: {e}")))?;
     for nv in ns {
-        let brute = enumerate::count_formula(f, vars, brute_range.clone(), &|_| Int::from(nv));
+        let brute = brute_force(f, vars, brute_range.clone(), &|_| Int::from(nv));
         prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
     }
     Ok(())
@@ -143,7 +145,7 @@ proptest! {
             + (QPoly::var(j) * QPoly::var(j) * QPoly::var(j)).scale(&Rat::from(c3));
         let sym = try_sum_polynomial(&s, &f, &[i, j], &z, &CountOptions::default()).unwrap();
         for nv in 0i64..=7 {
-            let brute = enumerate::sum_formula(&f, &[i, j], 0..=8, &|_| Int::from(nv), &z);
+            let brute = brute_sum(&f, &[i, j], 0..=8, &|_| Int::from(nv), &z);
             prop_assert_eq!(sym.eval_rat(&[("n", nv)]), brute, "n={}", nv);
         }
     }
@@ -228,6 +230,6 @@ fn four_piece_engine_agreement() {
         );
     }
     // negative bounds are exactly where the four-piece guards matter
-    let brute = enumerate::sum_formula(&f, &[i, j], -6..=8, &|_| Int::from(4), &z);
+    let brute = brute_sum(&f, &[i, j], -6..=8, &|_| Int::from(4), &z);
     assert_eq!(default.eval_rat(&[("n", 4)]), brute);
 }

@@ -1,0 +1,287 @@
+//! Grammar-directed random generation of Presburger counting problems.
+//!
+//! A generated [`GenCase`] is *always* a sound differential-testing
+//! subject:
+//!
+//! * every counted variable is conjoined with a concrete constant box,
+//!   so the symbolic count is finite and brute-force enumeration over
+//!   [`GenCase::range`] is exact;
+//! * every quantified variable is bounded *inside* its quantifier
+//!   (`∃q: -3 ≤ q ≤ 3 ∧ …` and `∀q: ¬(-3 ≤ q ≤ 3) ∨ …`), so the
+//!   brute-force oracle can enumerate witnesses over the same range
+//!   without missing any;
+//! * symbolic parameters only ever appear with small coefficients, so
+//!   evaluating at the harness's concrete parameter points keeps all
+//!   satisfying points inside the box margin.
+//!
+//! Two independent bodies `A` and `B` are generated per case (each
+//! including the box); the harness tests the union `A ∨ B` against
+//! brute force and uses the pair for the inclusion–exclusion law
+//! `|A∪B| = |A| + |B| − |A∩B|`.
+
+use crate::rng::Rng;
+use presburger_omega::{Affine, Formula, Space, VarId};
+
+/// Size knobs for the generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum number of counted variables (at least 1 is used).
+    pub max_vars: usize,
+    /// Maximum number of symbolic parameters (0 is allowed).
+    pub max_symbols: usize,
+    /// Maximum connective/quantifier nesting depth of each body.
+    pub max_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_vars: 3,
+            max_symbols: 2,
+            max_depth: 3,
+        }
+    }
+}
+
+/// Bound (inclusive) of the box placed on every quantified variable.
+pub const QUANT_BOX: i64 = 3;
+
+/// One generated counting problem.
+#[derive(Clone, Debug)]
+pub struct GenCase {
+    /// The variable space (counted vars, symbols, quantified vars).
+    pub space: Space,
+    /// The counted (free) variables.
+    pub vars: Vec<VarId>,
+    /// The symbolic parameters.
+    pub symbols: Vec<VarId>,
+    /// Body `A` — includes the bounding box on every counted variable.
+    pub body_a: Formula,
+    /// Body `B` — includes the same bounding box.
+    pub body_b: Formula,
+    /// Inclusive enumeration range for the brute-force oracle; covers
+    /// every box (counted and quantified) with a margin.
+    pub range: (i64, i64),
+}
+
+impl GenCase {
+    /// The union `A ∨ B` — the formula the harness counts.
+    pub fn union(&self) -> Formula {
+        Formula::or(vec![self.body_a.clone(), self.body_b.clone()])
+    }
+
+    /// The brute-force range as a `RangeInclusive`.
+    pub fn brute_range(&self) -> std::ops::RangeInclusive<i64> {
+        self.range.0..=self.range.1
+    }
+
+    /// A human-readable description for failure reports.
+    pub fn describe(&self) -> String {
+        let names = |vs: &[VarId]| {
+            vs.iter()
+                .map(|v| self.space.name(*v).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "vars=[{}] symbols=[{}] range={}..={}\n  A: {}\n  B: {}",
+            names(&self.vars),
+            names(&self.symbols),
+            self.range.0,
+            self.range.1,
+            self.body_a.to_string(&self.space),
+            self.body_b.to_string(&self.space),
+        )
+    }
+}
+
+/// Generates one random case. Identical `(rng, cfg)` states generate
+/// identical cases.
+pub fn generate(rng: &mut Rng, cfg: &GenConfig) -> GenCase {
+    let mut space = Space::new();
+    let var_names = ["x", "y", "z", "w", "u", "v"];
+    let sym_names = ["n", "m", "p"];
+    let nv = 1 + rng.below(cfg.max_vars.clamp(1, var_names.len()) as u64) as usize;
+    let ns = rng.below(cfg.max_symbols.min(sym_names.len()) as u64 + 1) as usize;
+    let vars: Vec<VarId> = var_names[..nv].iter().map(|n| space.var(n)).collect();
+    let symbols: Vec<VarId> = sym_names[..ns].iter().map(|n| space.symbol(n)).collect();
+
+    let mut boxes = Vec::new();
+    let mut box_parts = Vec::new();
+    for &v in &vars {
+        let lo = rng.range(-5, 1);
+        let hi = lo + rng.range(0, 6);
+        boxes.push((lo, hi));
+        box_parts.push(Formula::between(
+            Affine::constant(lo),
+            v,
+            Affine::constant(hi),
+        ));
+    }
+    let box_f = Formula::and(box_parts);
+
+    let mut gen = BodyGen { rng, qcount: 0 };
+    let mut scope = vars.clone();
+    let raw_a = gen.node(&mut space, &mut scope, &symbols, cfg.max_depth);
+    let raw_b = gen.node(&mut space, &mut scope, &symbols, cfg.max_depth);
+    let body_a = Formula::and(vec![box_f.clone(), raw_a]);
+    let body_b = Formula::and(vec![box_f, raw_b]);
+
+    let lo = boxes.iter().map(|b| b.0).min().unwrap_or(0).min(-QUANT_BOX) - 2;
+    let hi = boxes.iter().map(|b| b.1).max().unwrap_or(0).max(QUANT_BOX) + 2;
+
+    GenCase {
+        space,
+        vars,
+        symbols,
+        body_a,
+        body_b,
+        range: (lo, hi),
+    }
+}
+
+struct BodyGen<'a> {
+    rng: &'a mut Rng,
+    qcount: usize,
+}
+
+impl BodyGen<'_> {
+    /// A random affine expression over `scope ∪ symbols`. When `must`
+    /// is `Some(v)`, the coefficient of `v` is forced nonzero (used to
+    /// guarantee quantified variables actually occur in their body).
+    fn affine(&mut self, scope: &[VarId], symbols: &[VarId], must: Option<VarId>) -> Affine {
+        let mut terms: Vec<(VarId, i64)> = Vec::new();
+        for &v in scope {
+            let c = if Some(v) == must {
+                let c = self.rng.range(1, 3);
+                if self.rng.chance(1, 2) {
+                    -c
+                } else {
+                    c
+                }
+            } else if self.rng.chance(1, 2) {
+                0
+            } else {
+                self.rng.range(-3, 3)
+            };
+            if c != 0 {
+                terms.push((v, c));
+            }
+        }
+        for &s in symbols {
+            if self.rng.chance(3, 10) {
+                let c = self.rng.range(-1, 1);
+                if c != 0 {
+                    terms.push((s, c));
+                }
+            }
+        }
+        if terms.is_empty() && !scope.is_empty() {
+            let v = scope[self.rng.below(scope.len() as u64) as usize];
+            terms.push((v, self.rng.range(1, 3)));
+        }
+        Affine::from_terms(&terms, self.rng.range(-8, 8))
+    }
+
+    fn atom(&mut self, scope: &[VarId], symbols: &[VarId], must: Option<VarId>) -> Formula {
+        let e = self.affine(scope, symbols, must);
+        match self.rng.below(10) {
+            0..=5 => Formula::ge(e),
+            6 => Formula::eq0(e),
+            _ => Formula::stride(self.rng.range(2, 4), e),
+        }
+    }
+
+    fn node(
+        &mut self,
+        space: &mut Space,
+        scope: &mut Vec<VarId>,
+        symbols: &[VarId],
+        depth: usize,
+    ) -> Formula {
+        if depth == 0 {
+            return self.atom(scope, symbols, None);
+        }
+        match self.rng.below(100) {
+            0..=39 => self.atom(scope, symbols, None),
+            40..=59 => {
+                let k = 2 + self.rng.below(2) as usize;
+                Formula::and(
+                    (0..k)
+                        .map(|_| self.node(space, scope, symbols, depth - 1))
+                        .collect(),
+                )
+            }
+            60..=74 => {
+                let k = 2 + self.rng.below(2) as usize;
+                Formula::or(
+                    (0..k)
+                        .map(|_| self.node(space, scope, symbols, depth - 1))
+                        .collect(),
+                )
+            }
+            75..=84 => Formula::not(self.node(space, scope, symbols, depth - 1)),
+            85..=92 => self.quantifier(space, scope, symbols, depth, true),
+            _ => self.quantifier(space, scope, symbols, depth, false),
+        }
+    }
+
+    fn quantifier(
+        &mut self,
+        space: &mut Space,
+        scope: &mut Vec<VarId>,
+        symbols: &[VarId],
+        depth: usize,
+        existential: bool,
+    ) -> Formula {
+        let q = space.var(&format!("q{}", self.qcount));
+        self.qcount += 1;
+        let qbox = Formula::between(Affine::constant(-QUANT_BOX), q, Affine::constant(QUANT_BOX));
+        scope.push(q);
+        let link = self.atom(scope, symbols, Some(q));
+        let inner = self.node(space, scope, symbols, depth - 1);
+        scope.pop();
+        if existential {
+            // ∃q: qbox ∧ link ∧ inner — witnesses live inside the box.
+            Formula::exists(vec![q], Formula::and(vec![qbox, link, inner]))
+        } else {
+            // ∀q: qbox → (link ∨ inner) — only boxed q matter.
+            Formula::forall(vec![q], Formula::or(vec![Formula::not(qbox), link, inner]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(&mut Rng::new(5).fork(3), &cfg);
+        let b = generate(&mut Rng::new(5).fork(3), &cfg);
+        assert_eq!(a.describe(), b.describe());
+        let c = generate(&mut Rng::new(5).fork(4), &cfg);
+        assert_ne!(a.describe(), c.describe());
+    }
+
+    #[test]
+    fn cases_are_boxed_and_ranged() {
+        let cfg = GenConfig::default();
+        for i in 0..50 {
+            let case = generate(&mut Rng::new(11).fork(i), &cfg);
+            assert!(!case.vars.is_empty());
+            assert!(case.range.0 <= -QUANT_BOX && case.range.1 >= QUANT_BOX);
+            // Free variables of the union are exactly vars ∪ symbols
+            // (quantified q's are bound, box covers all counted vars).
+            let free = case.union().free_vars();
+            for v in free {
+                assert!(
+                    case.vars.contains(&v) || case.symbols.contains(&v),
+                    "unexpected free var {} in case {i}",
+                    case.space.name(v)
+                );
+            }
+        }
+    }
+}

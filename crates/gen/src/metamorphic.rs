@@ -1,0 +1,100 @@
+//! Metamorphic transformations: formula rewrites that provably preserve
+//! the solution count, used as engine-vs-engine cross-checks.
+//!
+//! * **Renaming** — interning fresh names for every counted variable
+//!   and symbol and substituting them through cannot change the count.
+//! * **Translation** — substituting `v := v − t` translates the
+//!   solution set by `+t`; the count at every parameter point is
+//!   unchanged.
+//!
+//! The third law the harness checks, inclusion–exclusion
+//! (`|A∪B| = |A| + |B| − |A∩B|`), needs no transformation and lives in
+//! [`crate::harness`] directly.
+
+use presburger_omega::{Affine, Formula, Space, VarId};
+
+/// A renamed copy of a counting problem: same space extended with
+/// primed variables, the formula rewritten onto them.
+pub struct Renamed {
+    /// Space containing both the original and the renamed variables.
+    pub space: Space,
+    /// The rewritten formula (mentions only renamed vars/symbols).
+    pub formula: Formula,
+    /// Renamed counted variables, in the original order.
+    pub vars: Vec<VarId>,
+    /// Renamed symbols, in the original order.
+    pub symbols: Vec<VarId>,
+}
+
+/// Renames every counted variable and symbol of `f` to a fresh
+/// `<name>_r` variable. Quantified variables are untouched
+/// (substitution respects shadowing, and they are not free).
+pub fn rename_free(space: &Space, f: &Formula, vars: &[VarId], symbols: &[VarId]) -> Renamed {
+    let mut s2 = space.clone();
+    let mut f2 = f.clone();
+    let map = |s2: &mut Space, ids: &[VarId], symbol: bool, f2: &mut Formula| {
+        ids.iter()
+            .map(|&v| {
+                let name = format!("{}_r", space.name(v));
+                let nv = if symbol {
+                    s2.symbol(&name)
+                } else {
+                    s2.var(&name)
+                };
+                *f2 = f2.substitute(v, &Affine::var(nv));
+                nv
+            })
+            .collect::<Vec<_>>()
+    };
+    let vars2 = map(&mut s2, vars, false, &mut f2);
+    let symbols2 = map(&mut s2, symbols, true, &mut f2);
+    Renamed {
+        space: s2,
+        formula: f2,
+        vars: vars2,
+        symbols: symbols2,
+    }
+}
+
+/// Substitutes `v := v − shift` for each counted variable, translating
+/// the solution set by `+shift` without changing its cardinality.
+pub fn translate(f: &Formula, vars: &[VarId], shifts: &[i64]) -> Formula {
+    let mut out = f.clone();
+    for (&v, &t) in vars.iter().zip(shifts) {
+        out = out.substitute(v, &(Affine::var(v) - Affine::constant(t)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use presburger_arith::Int;
+
+    #[test]
+    fn renaming_and_translation_preserve_counts() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let n = s.symbol("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(-2), x, Affine::constant(4)),
+            Formula::between(Affine::constant(-2), y, Affine::constant(4)),
+            Formula::ge(Affine::from_terms(&[(x, 1), (y, -1), (n, 1)], 0)),
+            Formula::stride(2, Affine::var(x) + Affine::var(y)),
+        ]);
+        for nv in -2i64..=2 {
+            let sym = |_: VarId| Int::from(nv);
+            let base = oracle::brute_force(&f, &[x, y], -6..=8, &sym);
+
+            let r = rename_free(&s, &f, &[x, y], &[n]);
+            let renamed = oracle::brute_force(&r.formula, &r.vars, -6..=8, &sym);
+            assert_eq!(base, renamed, "renaming changed the count at n={nv}");
+
+            let g = translate(&f, &[x, y], &[3, -2]);
+            let translated = oracle::brute_force(&g, &[x, y], -9..=11, &sym);
+            assert_eq!(base, translated, "translation changed the count at n={nv}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The shared brute-force oracle — ground truth for every differential
+//! test in the repository.
+//!
+//! Unlike `presburger_counting::enumerate` (which serves the library's
+//! own quantifier-free needs), this oracle evaluates the *full* input
+//! language: quantifiers are decided by enumerating the bound variables
+//! over the same inclusive range as the counted variables. That is
+//! exact whenever quantified variables are bounded inside their
+//! quantifier within the range — which the generator guarantees (see
+//! [`crate::grammar`]) and corpus files must respect.
+//!
+//! The three formerly ad-hoc enumeration loops in
+//! `tests/engine_vs_bruteforce.rs`, `crates/omega/tests/differential.rs`
+//! and `crates/counting/tests/differential.rs` all route through here.
+
+use presburger_arith::{Int, Rat};
+use presburger_omega::{Conjunct, Formula, VarId};
+use presburger_polyq::QPoly;
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+/// Evaluates `f` (quantifiers allowed) at the point given by `assign`,
+/// enumerating quantified variables over `qrange`.
+pub fn eval_formula(
+    f: &Formula,
+    assign: &dyn Fn(VarId) -> Int,
+    qrange: &RangeInclusive<i64>,
+) -> bool {
+    let mut env = BTreeMap::new();
+    eval_env(f, &mut env, assign, qrange)
+}
+
+fn eval_env(
+    f: &Formula,
+    env: &mut BTreeMap<VarId, Int>,
+    outer: &dyn Fn(VarId) -> Int,
+    qrange: &RangeInclusive<i64>,
+) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(c) => c.eval(&|v| env.get(&v).cloned().unwrap_or_else(|| outer(v))),
+        Formula::And(fs) => fs.iter().all(|g| eval_env(g, env, outer, qrange)),
+        Formula::Or(fs) => fs.iter().any(|g| eval_env(g, env, outer, qrange)),
+        Formula::Not(g) => !eval_env(g, env, outer, qrange),
+        Formula::Exists(vs, body) => quant(vs, body, env, outer, qrange, true),
+        Formula::Forall(vs, body) => !quant(vs, body, env, outer, qrange, false),
+    }
+}
+
+/// With `want = true`: is there an assignment of `vs` over `qrange`
+/// satisfying `body`? With `want = false`: one falsifying it?
+fn quant(
+    vs: &[VarId],
+    body: &Formula,
+    env: &mut BTreeMap<VarId, Int>,
+    outer: &dyn Fn(VarId) -> Int,
+    qrange: &RangeInclusive<i64>,
+    want: bool,
+) -> bool {
+    let Some((&v, rest)) = vs.split_first() else {
+        return eval_env(body, env, outer, qrange) == want;
+    };
+    for val in qrange.clone() {
+        let old = env.insert(v, Int::from(val));
+        let hit = quant(rest, body, env, outer, qrange, want);
+        match old {
+            Some(o) => {
+                env.insert(v, o);
+            }
+            None => {
+                env.remove(&v);
+            }
+        }
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Counts assignments of `vars` within `range` (each variable
+/// independently) satisfying `f`, with remaining free variables fixed
+/// by `sym`. Quantified subformulas are enumerated over the same
+/// `range`.
+pub fn brute_force(
+    f: &Formula,
+    vars: &[VarId],
+    range: RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+) -> u64 {
+    let mut count = 0u64;
+    visit_points(f, vars, &range, sym, &mut |_| count += 1);
+    count
+}
+
+/// Sums `poly` over the satisfying assignments of `vars` in `range`.
+pub fn brute_sum(
+    f: &Formula,
+    vars: &[VarId],
+    range: RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+    poly: &QPoly,
+) -> Rat {
+    let mut acc = Rat::zero();
+    visit_points(f, vars, &range, sym, &mut |assign| {
+        acc += &poly.eval(assign)
+    });
+    acc
+}
+
+/// Callback invoked with the full assignment of each satisfying point.
+type OnSat<'a> = dyn FnMut(&dyn Fn(VarId) -> Int) + 'a;
+
+fn visit_points(
+    f: &Formula,
+    vars: &[VarId],
+    range: &RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+    on_sat: &mut OnSat,
+) {
+    let mut point = vec![0i64; vars.len()];
+    rec_points(f, vars, range, sym, &mut point, 0, on_sat);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_points(
+    f: &Formula,
+    vars: &[VarId],
+    range: &RangeInclusive<i64>,
+    sym: &dyn Fn(VarId) -> Int,
+    point: &mut Vec<i64>,
+    depth: usize,
+    on_sat: &mut OnSat,
+) {
+    if depth == vars.len() {
+        let assign = |v: VarId| {
+            vars.iter()
+                .position(|x| *x == v)
+                .map(|i| Int::from(point[i]))
+                .unwrap_or_else(|| sym(v))
+        };
+        if eval_formula(f, &assign, range) {
+            on_sat(&assign);
+        }
+        return;
+    }
+    for v in range.clone() {
+        point[depth] = v;
+        rec_points(f, vars, range, sym, point, depth + 1, on_sat);
+    }
+}
+
+/// Whether the conjunct is satisfied at a concrete point (wildcards are
+/// treated as ordinary variables — `assign` must cover them).
+pub fn conjunct_sat(c: &Conjunct, assign: &dyn Fn(VarId) -> Int) -> bool {
+    c.eqs().iter().all(|e| e.eval(assign).is_zero())
+        && c.geqs().iter().all(|e| !e.eval(assign).is_negative())
+        && c.strides().iter().all(|(m, e)| m.divides(&e.eval(assign)))
+}
+
+/// Whether some assignment of `vars` over `range` satisfies the
+/// conjunct, with the remaining variables fixed by `outer`.
+pub fn conjunct_feasible(
+    c: &Conjunct,
+    vars: &[VarId],
+    range: RangeInclusive<i64>,
+    outer: &dyn Fn(VarId) -> Int,
+) -> bool {
+    fn rec(
+        c: &Conjunct,
+        vars: &[VarId],
+        range: &RangeInclusive<i64>,
+        outer: &dyn Fn(VarId) -> Int,
+        vals: &mut Vec<i64>,
+    ) -> bool {
+        if vals.len() == vars.len() {
+            let assign = |v: VarId| -> Int {
+                vars.iter()
+                    .position(|x| *x == v)
+                    .map(|i| Int::from(vals[i]))
+                    .unwrap_or_else(|| outer(v))
+            };
+            return conjunct_sat(c, &assign);
+        }
+        range.clone().any(|v| {
+            vals.push(v);
+            let hit = rec(c, vars, range, outer, vals);
+            vals.pop();
+            hit
+        })
+    }
+    rec(c, vars, &range, outer, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presburger_omega::{Affine, Space};
+
+    #[test]
+    fn matches_quantifier_free_enumerator() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let n = s.symbol("n");
+        let f = Formula::and(vec![
+            Formula::between(Affine::constant(0), x, Affine::var(n)),
+            Formula::stride(2, Affine::var(x)),
+        ]);
+        for nv in -2i64..=8 {
+            let ours = brute_force(&f, &[x], -5..=10, &|_| Int::from(nv));
+            let theirs = presburger_counting::enumerate::count_formula(&f, &[x], -5..=10, &|_| {
+                Int::from(nv)
+            });
+            assert_eq!(ours, theirs, "n={nv}");
+        }
+    }
+
+    #[test]
+    fn decides_quantifiers() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let t = s.var("t");
+        // ∃t: 0 ≤ t ≤ 3 ∧ x = 2t  — even x in [0, 6]
+        let f = Formula::exists(
+            vec![t],
+            Formula::and(vec![
+                Formula::between(Affine::constant(0), t, Affine::constant(3)),
+                Formula::eq(Affine::var(x), Affine::term(t, 2)),
+            ]),
+        );
+        let c = brute_force(&f, &[x], -8..=8, &|_| Int::zero());
+        assert_eq!(c, 4); // 0, 2, 4, 6
+
+        // ∀t: (0 ≤ t ≤ 2) → x + t ≥ 0  ⇔  x ≥ 0
+        let g = Formula::forall(
+            vec![t],
+            Formula::implies(
+                Formula::between(Affine::constant(0), t, Affine::constant(2)),
+                Formula::ge(Affine::var(x) + Affine::var(t)),
+            ),
+        );
+        let c = brute_force(&g, &[x], -4..=4, &|_| Int::zero());
+        assert_eq!(c, 5); // 0..=4
+    }
+
+    #[test]
+    fn conjunct_helpers() {
+        let mut s = Space::new();
+        let x = s.var("x");
+        let y = s.var("y");
+        let mut c = Conjunct::new();
+        c.add_geq(Affine::from_terms(&[(x, 1)], 3)); // x ≥ -3
+        c.add_geq(Affine::from_terms(&[(x, -1)], 3)); // x ≤ 3
+        c.add_eq(Affine::from_terms(&[(x, 1), (y, -2)], 0)); // x = 2y
+        c.add_stride(Int::from(2), Affine::var(x));
+        assert!(conjunct_sat(&c, &|v| if v == x {
+            Int::from(2)
+        } else {
+            Int::from(1)
+        }));
+        assert!(!conjunct_sat(&c, &|v| if v == x {
+            Int::from(3)
+        } else {
+            Int::from(1)
+        }));
+        assert!(conjunct_feasible(&c, &[x, y], -5..=5, &|_| Int::zero()));
+        let mut unsat = c.clone();
+        unsat.add_geq(Affine::from_terms(&[(x, 1)], -10)); // x ≥ 10
+        assert!(!conjunct_feasible(&unsat, &[x, y], -5..=5, &|_| Int::zero()));
+    }
+}

@@ -307,6 +307,40 @@ impl Formula {
             }
         }
     }
+
+    /// The number of AST nodes (connectives, quantifiers, atoms and
+    /// constants) — the coarse size metric used by the generative test
+    /// harness's shrinker.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// The number of atomic constraints in the formula.
+    pub fn count_atoms(&self) -> usize {
+        let mut n = 0;
+        self.for_each_atom(&mut |_| n += 1);
+        n
+    }
+
+    /// Visits every atomic constraint, left to right.
+    pub fn for_each_atom<'a>(&'a self, visit: &mut dyn FnMut(&'a Constraint)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(c) => visit(c),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.for_each_atom(visit);
+                }
+            }
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => {
+                f.for_each_atom(visit)
+            }
+        }
+    }
 }
 
 /// Builder for formulas containing floors, ceilings and remainders with

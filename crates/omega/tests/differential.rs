@@ -3,6 +3,7 @@
 //! equalities.
 
 use presburger_arith::Int;
+use presburger_gen::oracle::{conjunct_feasible, conjunct_sat};
 use presburger_omega::dnf::project_wildcards;
 use presburger_omega::eliminate::Shadow;
 use presburger_omega::feasible::is_feasible;
@@ -10,29 +11,6 @@ use presburger_omega::{Affine, Conjunct, Space, VarId};
 use proptest::prelude::*;
 
 const R: i64 = 7;
-
-fn brute_feasible(c: &Conjunct, vars: &[VarId]) -> bool {
-    fn sat(c: &Conjunct, vars: &[VarId], vals: &[i64]) -> bool {
-        let assign = |v: VarId| {
-            let idx = vars.iter().position(|x| *x == v).unwrap();
-            Int::from(vals[idx])
-        };
-        c.eqs().iter().all(|e| e.eval(&assign).is_zero())
-            && c.geqs().iter().all(|e| !e.eval(&assign).is_negative())
-            && c.strides().iter().all(|(m, e)| m.divides(&e.eval(&assign)))
-    }
-    let mut vals = vec![0i64; vars.len()];
-    fn rec(c: &Conjunct, vars: &[VarId], vals: &mut Vec<i64>, d: usize) -> bool {
-        if d == vars.len() {
-            return sat(c, vars, vals);
-        }
-        (-R..=R).any(|v| {
-            vals[d] = v;
-            rec(c, vars, vals, d + 1)
-        })
-    }
-    rec(c, vars, &mut vals, 0)
-}
 
 fn build(
     s: &mut Space,
@@ -78,7 +56,9 @@ proptest! {
     ) {
         let mut s = Space::new();
         let (c, vars) = build(&mut s, &geqs, &eqs, &strides);
-        let expected = brute_feasible(&c, &vars);
+        let expected = conjunct_feasible(&c, &vars, -R..=R, &|v| {
+            panic!("unbound variable {}", s.name(v))
+        });
         prop_assert_eq!(is_feasible(&c, &mut s), expected, "{}", c.to_string(&s));
     }
 
@@ -92,25 +72,15 @@ proptest! {
         mode_pick in 0usize..2,
     ) {
         let mut s = Space::new();
-        let (mut c, [x, y, z]) = build(&mut s, &geqs, &eqs, &strides);
+        let (mut c, [x, _y, z]) = build(&mut s, &geqs, &eqs, &strides);
         c.add_wildcard(z);
         let mode = [Shadow::ExactOverlapping, Shadow::ExactDisjoint][mode_pick];
         let parts = project_wildcards(&c, &mut s, mode);
         for xv in -R..=R {
             for yv in -R..=R {
+                let outer = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
                 let truth = (-R..=R).any(|zv| {
-                    let assign = |v: VarId| {
-                        if v == x {
-                            Int::from(xv)
-                        } else if v == y {
-                            Int::from(yv)
-                        } else {
-                            Int::from(zv)
-                        }
-                    };
-                    c.eqs().iter().all(|e| e.eval(&assign).is_zero())
-                        && c.geqs().iter().all(|e| !e.eval(&assign).is_negative())
-                        && c.strides().iter().all(|(m, e)| m.divides(&e.eval(&assign)))
+                    conjunct_sat(&c, &|v| if v == z { Int::from(zv) } else { outer(v) })
                 });
                 let assign = |v: VarId| if v == x { Int::from(xv) } else { Int::from(yv) };
                 let hits = parts.iter().filter(|p| p.contains_point(&s, &assign)).count();

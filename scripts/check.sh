@@ -60,6 +60,30 @@ do
         > /dev/null
 done
 
+echo "==> fuzz smoke (generative differential harness, fixed seed)"
+# Four layers (see DESIGN.md §10):
+#   1. the seed corpus must exist and replay clean;
+#   2. 200 fixed-seed generated cases must pass all four oracle
+#      families (brute force, inclusion–exclusion + invariances,
+#      determinism + governed bracketing, baselines);
+#   3.+4. with each deliberate engine bug armed, the harness must
+#      CATCH it and shrink it to a ≤3-constraint counterexample (the
+#      test inverts its expectation when PRESBURGER_GEN_FAULT is set).
+corpus_count=$(find tests/corpus -name '*.pres' | wc -l)
+if [ "$corpus_count" -lt 3 ]; then
+    echo "FAIL: seed corpus has only $corpus_count cases (< 3)" >&2
+    exit 1
+fi
+echo "    corpus replay + 200 clean cases"
+PRESBURGER_GEN_SEED=1 PRESBURGER_GEN_CASES=200 \
+    cargo test --release -q --test fuzz_differential > /dev/null
+for fault in count_off_by_one miscount_stride; do
+    echo "    PRESBURGER_GEN_FAULT=$fault (must be caught and shrunk)"
+    PRESBURGER_GEN_FAULT=$fault PRESBURGER_GEN_SEED=1 PRESBURGER_GEN_CASES=40 \
+        cargo test --release -q --test fuzz_differential \
+        generated_formulas_agree_with_all_oracles > /dev/null
+done
+
 echo "==> trace overhead smoke (disabled collector & governor < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 

@@ -10,6 +10,8 @@
 //! * [`counting`] — symbolic counting and summation (the paper's core);
 //! * [`apps`] — compiler-analysis applications (loop nests, cache, HPF);
 //! * [`baselines`] — the algorithms the paper compares against;
+//! * [`gen`] — generative differential testing: random-formula
+//!   generation, multi-oracle cross-checks, shrinking, seed corpus;
 //! * [`trace`] — zero-dependency observability: pipeline counters,
 //!   timing spans, and human-readable `explain` derivations.
 //!
@@ -40,6 +42,7 @@ pub use presburger_apps as apps;
 pub use presburger_arith as arith;
 pub use presburger_baselines as baselines;
 pub use presburger_counting as counting;
+pub use presburger_gen as gen;
 pub use presburger_omega as omega;
 pub use presburger_polyq as polyq;
 pub use presburger_trace as trace;

@@ -1,13 +1,17 @@
 //! Randomized differential testing: the symbolic engine against the
-//! brute-force lattice enumerator on generated formulas.
+//! shared brute-force oracle (`presburger::gen::oracle`) on generated
+//! formulas. Grammar-directed generation with shrinking lives in
+//! `tests/fuzz_differential.rs`; this file keeps the hand-shaped
+//! proptest workloads.
 //!
 //! Every generated workload bounds the summation variables inside a
 //! box so the brute-force reference is effective; the symbolic answer
 //! is then evaluated at many concrete symbol values and compared.
 
+use presburger::gen::oracle::{brute_force, brute_sum};
 use presburger::prelude::*;
 use presburger_arith::Int as BigInt;
-use presburger_counting::{enumerate, try_count_solutions, try_sum_polynomial};
+use presburger_counting::{try_count_solutions, try_sum_polynomial};
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -40,7 +44,7 @@ proptest! {
         let f = Formula::and(parts);
         let sym = try_count_solutions(&s, &f, &[i, j], &CountOptions::default()).unwrap();
         for nv in -3i64..=5 {
-            let brute = enumerate::count_formula(&f, &[i, j], -10..=12, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[i, j], -10..=12, &|_| BigInt::from(nv));
             let got = sym.eval_i64(&[("n", nv)]);
             prop_assert_eq!(got, Some(brute as i64), "n={}", nv);
         }
@@ -62,7 +66,7 @@ proptest! {
         ]);
         let sym = try_count_solutions(&s, &f, &[x], &CountOptions::default()).unwrap();
         for nv in -2i64..=8 {
-            let brute = enumerate::count_formula(&f, &[x], -10..=14, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[x], -10..=14, &|_| BigInt::from(nv));
             prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
         }
     }
@@ -84,7 +88,7 @@ proptest! {
             + (QPoly::var(i) * QPoly::var(j)).scale(&presburger_arith::Rat::from(c2));
         let sym = try_sum_polynomial(&s, &f, &[i, j], &z, &CountOptions::default()).unwrap();
         for nv in -1i64..=7 {
-            let brute = enumerate::sum_formula(&f, &[i, j], -1..=8, &|_| BigInt::from(nv), &z);
+            let brute = brute_sum(&f, &[i, j], -1..=8, &|_| BigInt::from(nv), &z);
             prop_assert_eq!(sym.eval_rat(&[("n", nv)]), brute, "n={}", nv);
         }
     }
@@ -105,7 +109,7 @@ proptest! {
         ]);
         let sym = try_count_solutions(&s, &f, &[x, y], &CountOptions::default()).unwrap();
         for nv in -2i64..=14 {
-            let brute = enumerate::count_formula(&f, &[x, y], -2..=30, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[x, y], -2..=30, &|_| BigInt::from(nv));
             prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
         }
     }
@@ -128,7 +132,7 @@ proptest! {
         ]);
         let sym = try_count_solutions(&s, &f, &[x, y], &CountOptions::default()).unwrap();
         for nv in -6i64..=12 {
-            let brute = enumerate::count_formula(&f, &[x, y], -8..=11, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[x, y], -8..=11, &|_| BigInt::from(nv));
             prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
         }
     }
@@ -149,7 +153,7 @@ proptest! {
         ]);
         let sym = try_count_solutions(&s, &f, &[x], &CountOptions::default()).unwrap();
         for nv in -5i64..=9 {
-            let brute = enumerate::count_formula(&f, &[x], -8..=12, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[x], -8..=12, &|_| BigInt::from(nv));
             prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
         }
     }
@@ -299,7 +303,7 @@ proptest! {
         let f = Formula::or(vec![branch1, branch2, branch3]);
         let sym = try_count_solutions(&s, &f, &[x, y], &CountOptions::default()).unwrap();
         for nv in -3i64..=6 {
-            let brute = enumerate::count_formula(&f, &[x, y], -6..=9, &|_| BigInt::from(nv));
+            let brute = brute_force(&f, &[x, y], -6..=9, &|_| BigInt::from(nv));
             prop_assert_eq!(sym.eval_i64(&[("n", nv)]), Some(brute as i64), "n={}", nv);
         }
     }

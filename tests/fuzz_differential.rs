@@ -1,0 +1,121 @@
+//! The generative differential-testing gate (see `crates/gen`).
+//!
+//! Every generated case runs through four oracle/metamorphic families:
+//! brute-force enumeration, inclusion–exclusion + invariances,
+//! thread-determinism + governed bracketing, and baseline (Tawbi / HP)
+//! sanity. Failures are delta-debugged to a minimal counterexample
+//! before being reported.
+//!
+//! Knobs:
+//!
+//! * `PRESBURGER_GEN_SEED=<n>`  — base seed (printed on failure).
+//! * `PRESBURGER_GEN_CASES=<n>` — generated cases per run.
+//! * `PRESBURGER_GEN_FAULT=count_off_by_one|miscount_stride` — arm a
+//!   deliberate engine-side bug; the run then *asserts the harness
+//!   catches it* and shrinks it to ≤ 3 constraints (`scripts/check.sh`
+//!   exercises both faults).
+
+use presburger::gen::{
+    cases_from_env, check_case, constraint_count, corpus, generate, seed_from_env, shrink_case,
+    BudgetChoice, GenConfig, Harness, Rng,
+};
+use std::path::Path;
+
+/// Cases per run when `PRESBURGER_GEN_CASES` is unset: small enough for
+/// the debug-profile tier-1 run; `scripts/check.sh` raises it to 200 in
+/// release.
+const DEFAULT_CASES: usize = 48;
+
+/// How many candidate evaluations the shrinker may spend per failure.
+const SHRINK_BUDGET: usize = 600;
+
+#[test]
+fn generated_formulas_agree_with_all_oracles() {
+    let seed = seed_from_env();
+    let n = cases_from_env(DEFAULT_CASES);
+    let h = Harness::from_env();
+    let cfg = GenConfig::default();
+
+    let mut caught: Vec<(u64, String)> = Vec::new();
+    for i in 0..n as u64 {
+        let mut rng = Rng::new(seed).fork(i);
+        let case = generate(&mut rng, &cfg);
+        let bc = BudgetChoice::draw(&mut rng);
+        let Err(failure) = check_case(&case, &h, &bc) else {
+            continue;
+        };
+
+        // Shrink while the *same* failure kind reproduces, so the
+        // minimized case demonstrates the original disagreement.
+        let (family, kind) = (failure.family, failure.kind);
+        let mut checks = 0usize;
+        let shrunk = shrink_case(
+            &case,
+            &mut |c| {
+                checks += 1;
+                checks <= SHRINK_BUDGET
+                    && matches!(check_case(c, &h, &bc),
+                                Err(f) if f.family == family && f.kind == kind)
+            },
+            SHRINK_BUDGET,
+        );
+        let atoms = constraint_count(&shrunk);
+        let report = format!(
+            "case {i} (PRESBURGER_GEN_SEED={seed}): {failure}\n\
+             shrunk to {atoms} constraint(s):\n{}",
+            shrunk.describe()
+        );
+
+        if h.fault.is_some() {
+            assert!(
+                atoms <= 3,
+                "injected fault not minimal: shrunk to {atoms} > 3 constraints\n{report}"
+            );
+            caught.push((i, report));
+        } else {
+            panic!("differential failure:\n{report}");
+        }
+    }
+
+    if h.fault.is_some() {
+        assert!(
+            !caught.is_empty(),
+            "PRESBURGER_GEN_FAULT armed but {n} cases all passed — the harness is blind"
+        );
+        println!(
+            "injected fault caught and shrunk on {} of {n} cases; first:\n{}",
+            caught.len(),
+            caught[0].1
+        );
+    }
+}
+
+/// Replays the persistent seed corpus (`tests/corpus/*.pres`). Always
+/// runs clean (no injected fault): the corpus pins past failures and
+/// representative regressions as must-pass cases.
+#[test]
+fn corpus_replay() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("loading tests/corpus");
+    assert!(
+        cases.len() >= 3,
+        "seed corpus shrank below 3 cases ({} found in {})",
+        cases.len(),
+        dir.display()
+    );
+
+    let h = Harness::default(); // fault-free by construction
+    for entry in &cases {
+        let case = entry
+            .to_case()
+            .unwrap_or_else(|e| panic!("corpus case {}: {e}", entry.name));
+        // Budgets drawn from the case name keep replay deterministic
+        // yet varied across the corpus.
+        let mut rng = Rng::from_name(&entry.name);
+        let bc = BudgetChoice::draw(&mut rng);
+        if let Err(f) = check_case(&case, &h, &bc) {
+            panic!("corpus case {} failed: {f}", entry.name);
+        }
+    }
+    println!("replayed {} corpus cases", cases.len());
+}

@@ -419,3 +419,71 @@ fn fault_injection_from_env() {
         },
     }
 }
+
+mod random_budget_brackets {
+    use super::*;
+    use presburger::gen::{generate, BudgetChoice, GenConfig, Rng};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// §4.6 bracketing as a property: for grammar-generated
+        /// formulas under random budget mixes, every `Bounded` outcome
+        /// satisfies `lower ≤ exact ≤ upper` at every parameter point,
+        /// where `exact` is the ungoverned answer.
+        #[test]
+        fn bounded_outcomes_bracket_exact(case_seed in 0u64..10_000, budget_seed in 0u64..10_000) {
+            let case = generate(&mut Rng::new(0xB0B).fork(case_seed), &GenConfig::default());
+            let bc = BudgetChoice::draw(&mut Rng::new(0xB0B5).fork(budget_seed));
+            let union = case.union();
+
+            // The reference answer must itself be cheap: gate on a
+            // governed deadline-only run so this test never hangs on a
+            // pathological case.
+            let ref_gov = Governor::new(Budgets {
+                deadline: Some(Duration::from_secs(2)),
+                ..Budgets::unlimited()
+            });
+            let exact = match try_count_solutions_governed(
+                &case.space, &union, &case.vars, &CountOptions::default(), &ref_gov,
+            ) {
+                Ok(Outcome::Exact(sym)) => sym,
+                _ => return Ok(()), // too heavy or degenerate: not a bracketing subject
+            };
+
+            // An Exact outcome or a structured budget error are both
+            // fine here (exactness is family 3's job in
+            // fuzz_differential); only Bounded carries the claim.
+            let gov = Governor::new(bc.budgets);
+            if let Ok(Outcome::Bounded { lower, upper, .. }) = try_count_solutions_governed(
+                &case.space, &union, &case.vars, &CountOptions::default(), &gov,
+            ) {
+                let points: Vec<Vec<(String, i64)>> = if case.symbols.is_empty() {
+                    vec![Vec::new()]
+                } else {
+                    (-3i64..=3)
+                        .map(|v| {
+                            case.symbols
+                                .iter()
+                                .map(|s| (case.space.name(*s).to_string(), v))
+                                .collect()
+                        })
+                        .collect()
+                };
+                for bind in &points {
+                    let refs: Vec<(&str, i64)> =
+                        bind.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                    let e = exact.eval_rat(&refs);
+                    let l = lower.eval_rat(&refs);
+                    let u = upper.eval_rat(&refs);
+                    prop_assert!(
+                        l <= e && e <= u,
+                        "bracket violated at {:?} under {:?}: {} <= {} <= {}\n{}",
+                        bind, bc.budgets, l, e, u, case.describe()
+                    );
+                }
+            }
+        }
+    }
+}
