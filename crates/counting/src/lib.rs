@@ -49,8 +49,8 @@ pub mod pipeline;
 pub mod projected;
 
 pub use govern::{
-    try_count_solutions_governed, try_sum_polynomial_governed, Budgets, ClauseStatus,
-    DegradePolicy, Governor, Outcome,
+    try_count_solutions_governed, try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets,
+    ClauseStatus, DegradePolicy, Governor, Outcome,
 };
 
 use presburger_arith::{Int, Rat};
@@ -148,6 +148,20 @@ pub enum CountError {
 }
 
 impl CountError {
+    /// A stable machine-readable name for the error variant, used by
+    /// the serving layer's wire protocol and the calculator's JSON
+    /// error objects.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CountError::Unbounded { .. } => "unbounded",
+            CountError::TooComplex(_) => "too_complex",
+            CountError::BudgetExceeded { .. } => "budget",
+            CountError::Deadline { .. } => "deadline",
+            CountError::Cancelled => "cancelled",
+            CountError::Internal(_) => "internal",
+        }
+    }
+
     /// Whether a governed run may degrade this error to §4.6 bounds
     /// (budget-style exhaustion: yes; divergence, cancellation and
     /// panics: no).
@@ -205,6 +219,17 @@ pub enum EvalError {
         /// The rational value, rendered.
         value: String,
     },
+}
+
+impl EvalError {
+    /// A stable machine-readable name for the error variant (see
+    /// [`CountError::kind`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalError::MissingSymbol { .. } => "missing_symbol",
+            EvalError::NotIntegral { .. } => "not_integral",
+        }
+    }
 }
 
 impl std::fmt::Display for EvalError {

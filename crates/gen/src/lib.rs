@@ -49,11 +49,13 @@ pub mod grammar;
 pub mod harness;
 pub mod metamorphic;
 pub mod oracle;
+pub mod requests;
 pub mod rng;
 pub mod shrink;
 
 pub use grammar::{generate, GenCase, GenConfig};
 pub use harness::{check_case, BudgetChoice, CaseFailure, Fault, Harness};
+pub use requests::{count_request, request_lines, GenRequest};
 pub use rng::Rng;
 pub use shrink::{constraint_count, shrink_case};
 

@@ -184,7 +184,7 @@ fn fewest_constraints(clauses: &[Conjunct]) -> usize {
     let size = |c: &Conjunct| c.eqs().len() + c.geqs().len() + c.strides().len();
     (0..clauses.len())
         .min_by_key(|&i| size(&clauses[i]))
-        .unwrap()
+        .expect("invariant: fewest_constraints is only called with clauses present")
 }
 
 #[cfg(test)]

@@ -170,7 +170,12 @@ pub fn eliminate(c: &Conjunct, v: VarId, space: &mut Space, mode: Shadow) -> Eli
             }
             // Splinters (Figure 1, left): for each lower bound β ≤ b·v,
             // try b·v = β + i for i = 0 .. ((a_max−1)(b−1)−1)/a_max.
-            let amax = uppers.iter().map(|u| &u.coeff).max().unwrap().clone();
+            let amax = uppers
+                .iter()
+                .map(|u| &u.coeff)
+                .max()
+                .expect("invariant: the splinter branch requires an upper bound")
+                .clone();
             for l in &lowers {
                 if l.coeff.is_one() {
                     continue;

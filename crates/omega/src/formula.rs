@@ -127,7 +127,9 @@ impl Formula {
         }
         match out.len() {
             0 => Formula::True,
-            1 => out.pop().unwrap(),
+            1 => out
+                .pop()
+                .expect("invariant: the len() == 1 arm has an element to pop"),
             _ => Formula::And(out),
         }
     }
@@ -145,7 +147,9 @@ impl Formula {
         }
         match out.len() {
             0 => Formula::False,
-            1 => out.pop().unwrap(),
+            1 => out
+                .pop()
+                .expect("invariant: the len() == 1 arm has an element to pop"),
             _ => Formula::Or(out),
         }
     }

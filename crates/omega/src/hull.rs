@@ -56,8 +56,16 @@ pub fn summarize_offsets(points: &[Vec<i64>], vars: &[VarId]) -> OffsetSummary {
     let mut c = Conjunct::new();
     // bounding box (always sound; exact for rank-deficient sets)
     for j in 0..d {
-        let lo = uniq.iter().map(|p| p[j]).min().unwrap();
-        let hi = uniq.iter().map(|p| p[j]).max().unwrap();
+        let lo = uniq
+            .iter()
+            .map(|p| p[j])
+            .min()
+            .expect("invariant: the hull summary is built from at least one point");
+        let hi = uniq
+            .iter()
+            .map(|p| p[j])
+            .max()
+            .expect("invariant: the hull summary is built from at least one point");
         c.add_geq(Affine::from_terms(&[(vars[j], 1)], -lo));
         c.add_geq(Affine::from_terms(&[(vars[j], -1)], hi));
     }
@@ -220,10 +228,22 @@ fn add_strides(c: &mut Conjunct, points: &[Vec<i64>], vars: &[VarId]) {
 fn count_box_points(c: &Conjunct, points: &[Vec<i64>], vars: &[VarId]) -> u64 {
     let d = vars.len();
     let lo: Vec<i64> = (0..d)
-        .map(|j| points.iter().map(|p| p[j]).min().unwrap())
+        .map(|j| {
+            points
+                .iter()
+                .map(|p| p[j])
+                .min()
+                .expect("invariant: the box is built from at least one point")
+        })
         .collect();
     let hi: Vec<i64> = (0..d)
-        .map(|j| points.iter().map(|p| p[j]).max().unwrap())
+        .map(|j| {
+            points
+                .iter()
+                .map(|p| p[j])
+                .max()
+                .expect("invariant: the box is built from at least one point")
+        })
         .collect();
     let mut count = 0u64;
     let mut cur = lo.clone();

@@ -61,5 +61,5 @@ pub use affine::Affine;
 pub use conjunct::{Bound, Conjunct};
 pub use dnf::{Dnf, SimplifyOptions};
 pub use formula::{Constraint, Desugar, Formula};
-pub use parse::{parse_affine, parse_formula, ParseFormulaError};
+pub use parse::{parse_affine, parse_formula, ParseError, ParseFormulaError};
 pub use space::{Space, VarId};

@@ -38,17 +38,69 @@ use presburger_arith::Int;
 use std::fmt;
 
 /// Error produced when parsing a formula fails.
+///
+/// Carries the byte offset *and* the 1-based line/column of the error,
+/// plus the offending source line so callers can render a caret
+/// snippet ([`ParseFormulaError::caret`]). Parsing is total: every
+/// malformed input — including deeply nested or non-UTF-8-boundary
+/// garbage — produces one of these rather than a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseFormulaError {
     /// Human-readable description.
     pub message: String,
     /// Byte offset of the error in the input.
     pub position: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column (in bytes) of the error within its line.
+    pub column: usize,
+    /// The full source line the error points into.
+    pub snippet: String,
+}
+
+/// Short alias — the serving layer and the calculator refer to parse
+/// failures by this name.
+pub type ParseError = ParseFormulaError;
+
+impl ParseFormulaError {
+    /// Locates `position` inside `input` and fills in line, column and
+    /// the snippet line.
+    fn locate(message: String, position: usize, input: &[u8]) -> ParseFormulaError {
+        let upto = &input[..position.min(input.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let line_start = upto.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let line_end = input[line_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(input.len(), |i| line_start + i);
+        ParseFormulaError {
+            message,
+            position,
+            line,
+            column: 1 + position.saturating_sub(line_start),
+            snippet: String::from_utf8_lossy(&input[line_start..line_end]).into_owned(),
+        }
+    }
+
+    /// The offending line with a `^` caret under the error column:
+    ///
+    /// ```text
+    /// 1 <= x <=
+    ///          ^
+    /// ```
+    pub fn caret(&self) -> String {
+        let pad = " ".repeat(self.column.saturating_sub(1));
+        format!("{}\n{pad}^", self.snippet)
+    }
 }
 
 impl fmt::Display for ParseFormulaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 impl std::error::Error for ParseFormulaError {}
@@ -62,6 +114,7 @@ pub fn parse_formula(input: &str, space: &mut Space) -> Result<Formula, ParseFor
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        depth: 0,
         space,
     };
     let f = p.or_formula()?;
@@ -81,6 +134,7 @@ pub fn parse_affine(input: &str, space: &mut Space) -> Result<Affine, ParseFormu
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        depth: 0,
         space,
     };
     let e = p.expr()?;
@@ -91,18 +145,34 @@ pub fn parse_affine(input: &str, space: &mut Space) -> Result<Affine, ParseFormu
     Ok(e)
 }
 
+/// Hard cap on grammar recursion depth. The grammar recurses through
+/// `unary` (negation, quantifiers, parentheses) and `term` (unary
+/// minus, parenthesized expressions); without a cap, adversarial input
+/// like `((((…` or `-----…x` overflows the stack instead of returning
+/// an error. 200 levels is far beyond any legitimate formula while
+/// keeping worst-case stack use well under the default 2 MiB of a
+/// spawned thread.
+const MAX_DEPTH: usize = 200;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
     space: &'a mut Space,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> ParseFormulaError {
-        ParseFormulaError {
-            message: message.to_string(),
-            position: self.pos,
+        ParseFormulaError::locate(message.to_string(), self.pos, self.input)
+    }
+
+    /// Charges one level of grammar recursion against [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), ParseFormulaError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("formula nested too deeply"));
         }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -152,6 +222,13 @@ impl<'a> Parser<'a> {
     }
 
     fn unary(&mut self) -> Result<Formula, ParseFormulaError> {
+        self.descend()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Formula, ParseFormulaError> {
         if self.eat("!") {
             return Ok(Formula::not(self.unary()?));
         }
@@ -270,6 +347,13 @@ impl<'a> Parser<'a> {
     }
 
     fn term(&mut self) -> Result<Affine, ParseFormulaError> {
+        self.descend()?;
+        let r = self.term_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn term_inner(&mut self) -> Result<Affine, ParseFormulaError> {
         self.skip_ws();
         if self.eat("-") {
             return Ok(-self.term()?);
@@ -450,6 +534,63 @@ mod tests {
         assert!(parse_formula("x + ", &mut s).is_err());
         assert!(parse_formula("x >= 1 garbage", &mut s).is_err());
         assert!(parse_formula("exists : x = 1", &mut s).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_column_and_caret() {
+        let mut s = Space::new();
+        let e = parse_formula("1 <= x &&\n2 <= y <=", &mut s).unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.column >= 9, "{e}");
+        assert_eq!(e.snippet, "2 <= y <=");
+        let caret = e.caret();
+        let mut lines = caret.lines();
+        assert_eq!(lines.next(), Some("2 <= y <="));
+        let marker = lines.next().unwrap();
+        assert!(marker.trim_end() == format!("{}^", " ".repeat(e.column - 1)));
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut s = Space::new();
+        // parenthesized formulas, unary minus and negation all recurse
+        for input in [
+            format!("{}x = 1{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}x = 1", "!".repeat(100_000)),
+            format!("{}x >= 0", "-".repeat(100_000)),
+        ] {
+            let e = parse_formula(&input, &mut s).unwrap_err();
+            assert!(e.message.contains("nested too deeply"), "{e}");
+        }
+        // ...but reasonable nesting is unaffected
+        let input = format!("{}x = 1{}", "(".repeat(30), ")".repeat(30));
+        assert!(parse_formula(&input, &mut s).is_ok());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // a cheap in-crate fuzz: mutated/truncated well-formed inputs
+        // plus byte soup must all return Ok/Err, never panic
+        let seeds = [
+            "exists j : 1 <= j <= i && 2j = i",
+            "count { } : <=",
+            "1 <= x <= n && 3 | x + 1",
+            "((((",
+            "\u{fffd}\u{2264} x \n\t|| 2 |",
+        ];
+        let mut s = Space::new();
+        for seed in seeds {
+            for cut in 0..seed.len() {
+                if seed.is_char_boundary(cut) {
+                    let _ = parse_formula(&seed[..cut], &mut s);
+                }
+            }
+            for junk in ["|", "||", "&&", "9", "\n^", "exists"] {
+                let mutated = format!("{seed}{junk}");
+                let _ = parse_formula(&mutated, &mut s);
+            }
+        }
     }
 
     #[test]

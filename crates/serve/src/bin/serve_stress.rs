@@ -1,0 +1,436 @@
+//! serve_stress: the serving layer's protocol-invariant stress harness.
+//!
+//! Phases (all must pass; the process exits non-zero on any violation):
+//!
+//! 1. **Replay determinism** — a fixed-seed stream of generated
+//!    requests is partitioned across concurrent connections and run at
+//!    1 and 4 workers, twice each. Per connection: exactly one response
+//!    per request, in request order. Across all four runs: byte-
+//!    identical transcripts.
+//! 2. **Load shedding** — with workers gated and a tiny queue, excess
+//!    requests must shed deterministically with `reason=queue_full`.
+//! 3. **Breaker drill** — under an injected worker-panic fault
+//!    (`splinters_generated:1:panic`), K splintering requests open the
+//!    breaker (degrade-first replies), and after the cooldown a clean
+//!    probe closes it again.
+//! 4. **Graceful drain** — a drain with queued work answers everything
+//!    within the drain deadline; post-drain submissions shed with
+//!    `reason=draining`; a zero-deadline drain still loses nothing.
+//! 5. **Latency** — sequential round-trip p50/p99 and phase-1
+//!    throughput, recorded to `BENCH_serve.json`.
+//!
+//! Honours `PRESBURGER_FAULT` (phase 1 runs with the breaker disabled
+//! so env-injected faults stay per-request-deterministic) and
+//! `PRESBURGER_SERVE_REQUESTS` / `PRESBURGER_SERVE_CONNS` /
+//! `PRESBURGER_SERVE_BENCH_OUT`.
+
+use presburger_counting::Budgets;
+use presburger_gen::{request_lines, GenConfig, GenRequest};
+use presburger_serve::server::{serve_connection, Gate, Server};
+use presburger_serve::ServeConfig;
+use presburger_trace::json::JsonObject;
+use std::io::{Cursor, Write};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The splinter-heavy workload (the paper's Example 11): ~17 splinters
+/// per count, so a `splinters_generated:*` fault always fires on it.
+const SPLINTERY: &str = "exists beta : 3beta - alpha >= 0 && -3beta + alpha + 7 >= 0 \
+                         && alpha - 2beta - 1 >= 0 && -alpha + 2beta + 5 >= 0";
+
+/// A splinter-free workload: the armed fault can never fire on it, so
+/// it doubles as the breaker's recovery probe.
+const CLEAN: &str = "1 <= x <= 9";
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn new() -> SharedBuf {
+        SharedBuf(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    fn take(&self) -> String {
+        let bytes = self.0.lock().unwrap().clone();
+        String::from_utf8(bytes).expect("invariant: the protocol emits UTF-8 only")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Replay-safe default budgets: generated formulas can be intractable
+/// exactly (the fuzz harness skips them via a wall-clock deadline), but
+/// deadlines are not replayable — count budgets are, because they are
+/// charged per clause deterministically. Every request then terminates
+/// quickly with a deterministic exact, bounded, or error reply.
+fn replay_budgets() -> Budgets {
+    Budgets {
+        max_splinters: Some(512),
+        max_dnf_clauses: Some(256),
+        max_depth: Some(64),
+        max_pieces: Some(20_000),
+        max_coeff_bits: Some(512),
+        ..Budgets::unlimited()
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `conns` concurrent connections over a fixed round-robin
+/// partition of `requests`; returns the per-connection transcripts and
+/// the wall time.
+fn run_partitioned(
+    workers: usize,
+    requests: &[GenRequest],
+    conns: usize,
+) -> (Vec<String>, Duration) {
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: requests.len() + conns,
+        default_deadline_ms: None, // wall-clock-free: replayable
+        default_budgets: replay_budgets(),
+        breaker_failures: 0, // see module docs: env faults stay per-request
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg);
+    let started = Instant::now();
+    let outputs: Vec<_> = (0..conns).map(|_| SharedBuf::new()).collect();
+    thread::scope(|scope| {
+        for (c, out) in outputs.iter().enumerate() {
+            let handle = server.handle();
+            let input: String = requests
+                .iter()
+                .skip(c)
+                .step_by(conns)
+                .map(|r| format!("{}\n", r.line))
+                .collect();
+            let out = out.clone();
+            scope.spawn(move || {
+                serve_connection(&handle, Cursor::new(input), out, false)
+                    .expect("in-memory connection cannot fail");
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    server.shutdown();
+    (outputs.iter().map(SharedBuf::take).collect(), elapsed)
+}
+
+/// Asserts one response per request, in request order, none shed.
+fn check_transcript(transcript: &str, expected_ids: &[&str], label: &str) {
+    let lines: Vec<&str> = transcript.lines().collect();
+    assert_eq!(
+        lines.len(),
+        expected_ids.len(),
+        "{label}: {} responses for {} requests (lost or duplicated)",
+        lines.len(),
+        expected_ids.len()
+    );
+    for (line, want) in lines.iter().zip(expected_ids) {
+        let mut tok = line.split_whitespace();
+        let status = tok.next().unwrap_or("");
+        let id = tok.next().unwrap_or("");
+        assert!(
+            status == "OK" || status == "ERR",
+            "{label}: unexpected status line {line:?}"
+        );
+        assert_eq!(id, *want, "{label}: response out of order: {line:?}");
+    }
+}
+
+fn phase_replay_determinism(n: usize, conns: usize) -> (usize, Duration) {
+    println!("==> phase 1: replay determinism ({n} requests, {conns} connections)");
+    let requests = request_lines(0xC0FFEE, n, &GenConfig::default());
+    let mut baseline: Option<Vec<String>> = None;
+    let mut elapsed = Duration::ZERO;
+    for (run, workers) in [(1, 1), (2, 1), (3, 4), (4, 4)] {
+        let (transcripts, took) = run_partitioned(workers, &requests, conns);
+        for (c, t) in transcripts.iter().enumerate() {
+            let ids: Vec<&str> = requests
+                .iter()
+                .skip(c)
+                .step_by(conns)
+                .map(|r| r.id.as_str())
+                .collect();
+            check_transcript(t, &ids, &format!("run {run} (workers={workers}) conn {c}"));
+        }
+        match &baseline {
+            None => {
+                baseline = Some(transcripts);
+                elapsed = took;
+            }
+            Some(base) => assert_eq!(
+                base, &transcripts,
+                "run {run} (workers={workers}): transcript differs from run 1 — replay broken"
+            ),
+        }
+        println!(
+            "    run {run}: workers={workers} ok ({} ms)",
+            took.as_millis()
+        );
+    }
+    (n, elapsed)
+}
+
+fn phase_shedding() {
+    println!("==> phase 2: load shedding under a tiny queue");
+    let gate = Gate::new(true);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        hold: Some(gate.clone()),
+        default_deadline_ms: None,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg);
+    let handle = server.handle();
+    let slots: Vec<_> = (0..6)
+        .map(|i| {
+            let line = format!("count s{i} {{x : {CLEAN}}}");
+            match presburger_serve::parse_request(&line).unwrap() {
+                presburger_serve::Request::Query(q) => handle.submit(q),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    // Workers are gated, so exactly queue_depth requests were admitted
+    // and the rest shed — deterministically.
+    let mut sheds = 0;
+    gate.open();
+    for (i, slot) in slots.iter().enumerate() {
+        let line = slot.wait();
+        if line.starts_with("SHED ") {
+            assert!(
+                line.contains("reason=queue_full"),
+                "shed {i} with wrong reason: {line}"
+            );
+            sheds += 1;
+        } else {
+            assert!(line.starts_with(&format!("OK s{i} ")), "bad reply: {line}");
+        }
+    }
+    assert_eq!(sheds, 4, "expected exactly 4 sheds from a 2-deep queue");
+    assert_eq!(handle.stats().sheds(), 4);
+    let stats = server.shutdown();
+    println!("    4/6 shed as required; {stats}");
+}
+
+fn submit_line(handle: &presburger_serve::Handle, line: &str) -> String {
+    match presburger_serve::parse_request(line).unwrap() {
+        presburger_serve::Request::Query(q) => handle.submit(q).wait(),
+        _ => unreachable!("stress submits queries only"),
+    }
+}
+
+fn phase_breaker_drill() {
+    println!("==> phase 3: breaker drill (fault splinters_generated:1:panic)");
+    let cfg = ServeConfig {
+        workers: 1,
+        breaker_failures: 3,
+        breaker_cooldown_ms: 50,
+        default_deadline_ms: None,
+        fault_spec: Some("splinters_generated:1:panic".to_string()),
+        cache_entries: 0, // every request must hit the engine
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg);
+    let handle = server.handle();
+
+    // K consecutive worker panics → ERR internal ×3 → breaker opens.
+    for i in 0..3 {
+        let line = submit_line(&handle, &format!("count b{i} {{alpha : {SPLINTERY}}}"));
+        assert!(
+            line.starts_with(&format!("ERR b{i} internal ")),
+            "fault did not surface as internal: {line}"
+        );
+    }
+    assert_eq!(handle.stats().breaker_opens(), 1, "breaker failed to open");
+
+    // Open breaker: the same request now degrades first — answered
+    // with §4.6 bounds, without touching the (faulted) exact path.
+    let line = submit_line(&handle, &format!("count b3 {{alpha : {SPLINTERY}}}"));
+    assert!(
+        line.starts_with("OK b3 bounded breaker_open "),
+        "open breaker did not degrade-first: {line}"
+    );
+    assert!(handle.stats().degraded_first() >= 1);
+    assert!(handle.stats_line().contains("breaker=open"));
+
+    // After the cooldown, a clean request is the half-open probe; the
+    // fault cannot fire on it (no splinters), so the breaker closes.
+    thread::sleep(Duration::from_millis(60));
+    let line = submit_line(&handle, &format!("count p0 {{x : {CLEAN}}}"));
+    assert!(
+        line.starts_with("OK p0 exact "),
+        "probe did not succeed: {line}"
+    );
+    let stats = handle.stats_line();
+    assert!(
+        stats.contains("breaker=closed"),
+        "breaker did not close after the probe: {stats}"
+    );
+    // And it stays closed for normal traffic.
+    let line = submit_line(&handle, &format!("count p1 {{x : {CLEAN}}}"));
+    assert!(line.starts_with("OK p1 exact "), "post-recovery: {line}");
+    let stats = server.shutdown();
+    println!("    opened after 3 internal errors, recovered via probe; {stats}");
+}
+
+fn phase_drain() {
+    println!("==> phase 4: graceful drain");
+    // The drain invariant is "no admitted request loses its response" —
+    // with an env fault armed, splintery requests legitimately answer
+    // ERR internal instead of OK, and that still counts as answered.
+    let fault_armed = std::env::var("PRESBURGER_FAULT").is_ok();
+    // A drain with queued work: everything admitted still answers,
+    // within the drain deadline.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        default_deadline_ms: None,
+        drain_deadline_ms: 10_000,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let slots: Vec<_> = (0..20)
+        .map(|i| {
+            let line = format!("count d{i} {{alpha : {SPLINTERY}}}");
+            match presburger_serve::parse_request(&line).unwrap() {
+                presburger_serve::Request::Query(q) => handle.submit(q),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    let started = Instant::now();
+    let stats = handle.drain();
+    let took = started.elapsed();
+    assert!(
+        took < Duration::from_secs(10),
+        "drain blew its deadline: {took:?}"
+    );
+    assert!(stats.starts_with("STATS "), "drain stats line: {stats}");
+    for (i, slot) in slots.iter().enumerate() {
+        let line = slot.wait();
+        assert!(
+            line.starts_with(&format!("OK d{i} "))
+                || (fault_armed && line.starts_with(&format!("ERR d{i} internal"))),
+            "in-flight request lost on drain: {line}"
+        );
+    }
+    // Post-drain submissions shed with reason=draining.
+    let line = submit_line(&handle, &format!("count late {{x : {CLEAN}}}"));
+    assert!(
+        line.starts_with("SHED late ") && line.contains("reason=draining"),
+        "post-drain submit was not shed: {line}"
+    );
+    server.shutdown();
+
+    // A zero-deadline drain cancels immediately but still answers
+    // everything (bounded or cancelled — never lost).
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        default_deadline_ms: None,
+        drain_deadline_ms: 0,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let slots: Vec<_> = (0..8)
+        .map(|i| {
+            let line = format!("count z{i} {{alpha : {SPLINTERY}}}");
+            match presburger_serve::parse_request(&line).unwrap() {
+                presburger_serve::Request::Query(q) => handle.submit(q),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    handle.drain();
+    for (i, slot) in slots.iter().enumerate() {
+        let line = slot.wait();
+        assert!(
+            line.starts_with(&format!("OK z{i} "))
+                || line.starts_with(&format!("ERR z{i} cancelled"))
+                || line.starts_with(&format!("SHED z{i} "))
+                || (fault_armed && line.starts_with(&format!("ERR z{i} internal"))),
+            "hard drain lost or corrupted a response: {line}"
+        );
+    }
+    server.shutdown();
+    println!("    clean drain within deadline; hard drain lost nothing");
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
+    println!("==> phase 5: latency ({n} sequential round-trips)");
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        default_deadline_ms: None,
+        default_budgets: replay_budgets(),
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let requests = request_lines(0xBEEF, n, &GenConfig::default());
+    let mut lat_us: Vec<u128> = Vec::with_capacity(n);
+    for r in &requests {
+        let started = Instant::now();
+        match presburger_serve::parse_request(&r.line).unwrap() {
+            presburger_serve::Request::Query(q) => {
+                handle.submit(q).wait();
+            }
+            _ => unreachable!(),
+        }
+        lat_us.push(started.elapsed().as_micros());
+    }
+    server.shutdown();
+    lat_us.sort_unstable();
+    let p50 = percentile(&lat_us, 0.50);
+    let p99 = percentile(&lat_us, 0.99);
+    let throughput = phase1_n as f64 / phase1_elapsed.as_secs_f64().max(1e-9);
+    println!("    p50={p50}us p99={p99}us throughput={throughput:.0} req/s");
+
+    let out = std::env::var("PRESBURGER_SERVE_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    if !out.is_empty() {
+        let mut obj = JsonObject::new();
+        obj.field_u64("requests", n as u64)
+            .field_u64("p50_us", p50 as u64)
+            .field_u64("p99_us", p99 as u64)
+            .field_f64("throughput_rps", throughput)
+            .field_u64("phase1_requests", phase1_n as u64)
+            .field_u64("phase1_ms", phase1_elapsed.as_millis() as u64);
+        if std::fs::write(&out, obj.finish() + "\n").is_ok() {
+            println!("    wrote {out}");
+        }
+    }
+}
+
+fn main() {
+    let n = env_usize("PRESBURGER_SERVE_REQUESTS", 200);
+    let conns = env_usize("PRESBURGER_SERVE_CONNS", 4).max(1);
+    let (phase1_n, phase1_elapsed) = phase_replay_determinism(n, conns);
+    phase_shedding();
+    phase_breaker_drill();
+    phase_drain();
+    phase_latency(n.min(60), phase1_n, phase1_elapsed);
+    println!("serve_stress: all phases passed");
+}

@@ -1,0 +1,174 @@
+//! A bounded result cache keyed by canonical request text.
+//!
+//! Keys are *canonical*: the formula is re-rendered from its parsed
+//! form (`Formula::to_string(&space)`), so textual variants of the same
+//! query (`x<=3&&x>=0` vs `0 <= x <= 3`) share an entry, while budget
+//! overrides are part of the key — a request with a tight splinter cap
+//! may legitimately get a different (bounded) answer than an
+//! unconstrained one, and transcript replay must stay byte-exact.
+//!
+//! Eviction is least-recently-used under two independent limits: entry
+//! count and total bytes (key + payload). Both guard against unbounded
+//! memory growth on long-lived servers; an oversized single payload is
+//! simply not cached.
+
+use std::collections::HashMap;
+
+/// One cached response payload.
+struct Entry {
+    /// LRU stamp: larger = more recently touched.
+    stamp: u64,
+    /// The rendered response tail (everything after `OK <id> `).
+    payload: String,
+}
+
+/// A bounded LRU map from canonical query keys to response payloads.
+pub struct ResultCache {
+    entries: HashMap<String, Entry>,
+    max_entries: usize,
+    max_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+}
+
+impl ResultCache {
+    /// A cache bounded by `max_entries` entries and `max_bytes` total
+    /// key+payload bytes. Either bound may be zero to disable caching.
+    pub fn new(max_entries: usize, max_bytes: usize) -> ResultCache {
+        ResultCache {
+            entries: HashMap::new(),
+            max_entries,
+            max_bytes,
+            bytes: 0,
+            clock: 0,
+            hits: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp on a hit. Returns the
+    /// payload and the running hit ordinal (1-based, for verify-mode
+    /// sampling).
+    pub fn get(&mut self, key: &str) -> Option<(String, u64)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let e = self.entries.get_mut(key)?;
+        e.stamp = clock;
+        self.hits += 1;
+        Some((e.payload.clone(), self.hits))
+    }
+
+    /// Inserts (or replaces) `key → payload`, evicting least-recently
+    /// used entries until both bounds hold. A payload too large to ever
+    /// fit is ignored.
+    pub fn put(&mut self, key: &str, payload: &str) {
+        let size = key.len() + payload.len();
+        if self.max_entries == 0 || size > self.max_bytes {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(key) {
+            self.bytes -= key.len() + old.payload.len();
+        }
+        while self.entries.len() + 1 > self.max_entries || self.bytes + size > self.max_bytes {
+            match self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                Some(oldest) => {
+                    let e = self
+                        .entries
+                        .remove(&oldest)
+                        .expect("invariant: min_by_key returned a resident key");
+                    self.bytes -= oldest.len() + e.payload.len();
+                }
+                None => break,
+            }
+        }
+        self.bytes += size;
+        self.entries.insert(
+            key.to_string(),
+            Entry {
+                stamp: self.clock,
+                payload: payload.to_string(),
+            },
+        );
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current resident key+payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = ResultCache::new(4, 1024);
+        assert!(c.get("k").is_none());
+        c.put("k", "exact 7");
+        let (payload, ordinal) = c.get("k").unwrap();
+        assert_eq!(payload, "exact 7");
+        assert_eq!(ordinal, 1);
+        assert_eq!(c.get("k").unwrap().1, 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_on_entry_bound() {
+        let mut c = ResultCache::new(2, 1024);
+        c.put("a", "1");
+        c.put("b", "2");
+        c.get("a"); // refresh a → b becomes LRU
+        c.put("c", "3");
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_on_byte_bound() {
+        let mut c = ResultCache::new(100, 20);
+        c.put("aaaa", "111111"); // 10 bytes
+        c.put("bbbb", "222222"); // 10 bytes
+        assert_eq!(c.bytes(), 20);
+        c.put("cccc", "333333"); // forces eviction of "aaaa" (LRU)
+        assert!(c.bytes() <= 20);
+        assert!(c.get("aaaa").is_none());
+        assert!(c.get("cccc").is_some());
+    }
+
+    #[test]
+    fn oversized_payload_is_not_cached() {
+        let mut c = ResultCache::new(4, 8);
+        c.put("key", "a-payload-larger-than-the-cache");
+        assert!(c.is_empty());
+        assert!(c.get("key").is_none());
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let mut c = ResultCache::new(4, 1024);
+        c.put("k", "short");
+        let before = c.bytes();
+        c.put("k", "a rather longer payload");
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes() > before);
+        assert_eq!(c.get("k").unwrap().0, "a rather longer payload");
+    }
+}

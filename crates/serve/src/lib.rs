@@ -1,0 +1,45 @@
+//! presburger-serve: a hardened request-serving layer for the counting
+//! engine.
+//!
+//! Long-running services that answer counting queries need more than a
+//! correct engine — they need *overload behavior*: what happens when
+//! requests arrive faster than they can be answered, when one request
+//! panics a worker, when a stream of adversarial formulas would burn a
+//! full deadline each, and when the process has to go away without
+//! dropping in-flight work. This crate packages those behaviors around
+//! the governed counting pipeline ([`presburger_counting::Governor`]):
+//!
+//! * **Admission control** — a bounded queue; a full queue (or a
+//!   draining server) answers `SHED retry_after_ms=…` instead of
+//!   queueing unboundedly ([`server::Server`]).
+//! * **Panic isolation** — every request runs under `catch_unwind`; a
+//!   poisoned request answers `ERR … internal` and the worker lives.
+//! * **Circuit breaking** — after K consecutive internal/deadline
+//!   failures, new requests degrade-first to §4.6 bounds until a
+//!   half-open probe proves the exact path healthy again
+//!   ([`breaker::Breaker`]).
+//! * **Result caching** — a bounded LRU keyed by the *canonical*
+//!   (re-rendered) query, with an opt-in verify mode that recomputes a
+//!   sample of hits and alarms on mismatch ([`cache::ResultCache`]).
+//! * **Graceful drain** — stop admitting, finish or cancel-and-bound
+//!   in-flight work within a drain deadline, emit a final stats line.
+//!
+//! The wire protocol is newline-delimited text over stdin/stdout
+//! ([`server::run_stdio`]) or TCP ([`server::TcpServer`]); see
+//! [`protocol`] for the grammar and DESIGN.md §11 for the design
+//! rationale. The `serve_stress` binary floods a server with generated
+//! request streams and asserts zero lost/duplicated/misordered
+//! responses and byte-identical replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use breaker::{Breaker, Plan};
+pub use cache::ResultCache;
+pub use protocol::{parse_request, Overrides, ProtocolError, Query, Request, ServeError, Verb};
+pub use server::{run_stdio, Gate, Handle, ServeConfig, Server, Slot, TcpServer};

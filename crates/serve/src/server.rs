@@ -1,0 +1,961 @@
+//! The server core: admission queue, worker pool, request processing,
+//! drain, and the stdio / TCP connection drivers.
+//!
+//! # Life of a request
+//!
+//! 1. A connection driver reads one line and parses it
+//!    ([`crate::protocol::parse_request`]). Control verbs and protocol
+//!    errors are answered inline; queries go to [`Server::submit`].
+//! 2. `submit` either enqueues a [`Job`] (bounded queue) or answers
+//!    `SHED` immediately — when the queue is full or the server is
+//!    draining. Admission and the draining check happen under one lock,
+//!    so a request can never slip in behind a drain.
+//! 3. A worker pops the job and runs the whole computation — parsing
+//!    the formula, governing the count, rendering the reply — inside
+//!    `catch_unwind`. A panic poisons only that request (`ERR …
+//!    internal`), never the worker.
+//! 4. The response is published through the job's one-shot [`Slot`];
+//!    the connection's writer thread emits slots in admission order, so
+//!    responses on a connection are FIFO even with many workers.
+//!
+//! # Ordering and replay
+//!
+//! With deadline-free requests the entire response stream is a pure
+//! function of the request stream: budget trips are deterministic
+//! (per-clause accounting, PR 3), cache keys include budget overrides,
+//! and per-connection FIFO writers fix the interleaving. `serve_stress`
+//! asserts byte-identical transcripts across runs and worker counts.
+
+use crate::breaker::{Breaker, Plan};
+use crate::cache::ResultCache;
+use crate::protocol::{self, err_line, parse_request, shed_line, Query, Request, ServeError, Verb};
+use presburger_counting::{
+    try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets, CountError, CountOptions,
+    Governor, Outcome,
+};
+use presburger_omega::{parse_affine, parse_formula, Space};
+use presburger_polyq::QPoly;
+use presburger_trace::{self as trace, Counter};
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` gives a single-worker server with a
+/// 64-deep queue, a 5 s default deadline, a 3-strike breaker and a
+/// 256-entry / 1 MiB cache.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Bounded admission-queue depth; a full queue sheds.
+    pub queue_depth: usize,
+    /// `retry_after_ms` hint on `SHED` replies.
+    pub retry_after_ms: u64,
+    /// Deadline applied to requests that carry no `deadline_ms`
+    /// override. `None` = no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Base budgets merged under per-request overrides.
+    pub default_budgets: Budgets,
+    /// Consecutive breaker-class failures (internal / deadline) that
+    /// open the circuit breaker; `0` disables it.
+    pub breaker_failures: u32,
+    /// Cooldown before an open breaker half-opens for a probe.
+    pub breaker_cooldown_ms: u64,
+    /// Result-cache entry bound (`0` disables caching).
+    pub cache_entries: usize,
+    /// Result-cache byte bound (keys + payloads).
+    pub cache_bytes: usize,
+    /// Verify mode: recompute every `n`-th cache hit and alarm on
+    /// mismatch. `None` disables verification.
+    pub verify_every: Option<u64>,
+    /// How long a drain waits for in-flight and queued work before
+    /// cancelling what remains (cancelled work still answers, with
+    /// §4.6 bounds where possible).
+    pub drain_deadline_ms: u64,
+    /// Hermetic fault injection: a `<site>:<nth>[:panic]` spec applied
+    /// to every governed request, equivalent to setting
+    /// `PRESBURGER_FAULT` but scoped to this server (for tests).
+    pub fault_spec: Option<String>,
+    /// Test hook: when set, workers wait on this gate before popping
+    /// each job, making queue-full sheds deterministic.
+    pub hold: Option<Arc<Gate>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            retry_after_ms: 50,
+            default_deadline_ms: Some(5_000),
+            default_budgets: Budgets::unlimited(),
+            breaker_failures: 3,
+            breaker_cooldown_ms: 1_000,
+            cache_entries: 256,
+            cache_bytes: 1 << 20,
+            verify_every: None,
+            drain_deadline_ms: 2_000,
+            fault_spec: None,
+            hold: None,
+        }
+    }
+}
+
+/// A closable gate workers wait on before taking work (test hook for
+/// deterministic shed scenarios).
+#[derive(Debug)]
+pub struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// A new gate, initially open unless `closed`.
+    pub fn new(closed: bool) -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(!closed),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Opens the gate, releasing all waiters.
+    pub fn open(&self) {
+        let mut open = self.open.lock().expect("invariant: gate lock unpoisoned");
+        *open = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().expect("invariant: gate lock unpoisoned");
+        while !*open {
+            open = self.cv.wait(open).expect("invariant: gate lock unpoisoned");
+        }
+    }
+}
+
+/// A one-shot response slot: the worker fulfils it, the connection's
+/// writer thread waits on it. Fulfilment is idempotent-by-construction
+/// (exactly one producer per slot).
+pub struct Slot {
+    value: Mutex<Option<String>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    /// An empty slot.
+    pub fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            value: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// An already-fulfilled slot (for responses computed inline).
+    pub fn ready(line: String) -> Arc<Slot> {
+        Arc::new(Slot {
+            value: Mutex::new(Some(line)),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publishes the response line.
+    pub fn fulfil(&self, line: String) {
+        let mut v = self.value.lock().expect("invariant: slot lock unpoisoned");
+        *v = Some(line);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the response line is available.
+    pub fn wait(&self) -> String {
+        let mut v = self.value.lock().expect("invariant: slot lock unpoisoned");
+        loop {
+            if let Some(line) = v.take() {
+                return line;
+            }
+            v = self.cv.wait(v).expect("invariant: slot lock unpoisoned");
+        }
+    }
+}
+
+struct Job {
+    query: Query,
+    slot: Arc<Slot>,
+}
+
+/// Atomic server statistics, rendered by `STATS` and the final drain
+/// line.
+#[derive(Default)]
+pub struct Stats {
+    admitted: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_drain: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    verify_mismatches: AtomicU64,
+    breaker_opens: AtomicU64,
+    degraded_first: AtomicU64,
+    drain_bounded: AtomicU64,
+    queue_depth_peak: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds issued (queue-full + draining).
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue.load(Ordering::Relaxed) + self.shed_drain.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted to the queue.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// `OK` responses produced.
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits served.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Verify-mode mismatches detected (should stay 0).
+    pub fn verify_mismatches(&self) -> u64 {
+        self.verify_mismatches.load(Ordering::Relaxed)
+    }
+
+    /// Closed→open breaker transitions.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered degrade-first while the breaker was open.
+    pub fn degraded_first(&self) -> u64 {
+        self.degraded_first.load(Ordering::Relaxed)
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    inflight: AtomicUsize,
+    drain_cancel: Arc<AtomicBool>,
+    drained: AtomicBool,
+    breaker: Mutex<Breaker>,
+    cache: Mutex<ResultCache>,
+    stats: Stats,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+    shutdown: bool,
+}
+
+/// A running server: a worker pool behind a bounded admission queue.
+/// Cheap to clone-share via [`Server::handle`]; drop order does not
+/// matter (workers exit on drain/shutdown).
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// A shareable handle for submitting requests and draining.
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            drain_cancel: Arc::new(AtomicBool::new(false)),
+            drained: AtomicBool::new(false),
+            breaker: Mutex::new(Breaker::new(cfg.breaker_failures, cfg.breaker_cooldown_ms)),
+            cache: Mutex::new(ResultCache::new(cfg.cache_entries, cfg.cache_bytes)),
+            stats: Stats::default(),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("invariant: spawning a worker thread cannot fail here")
+            })
+            .collect();
+        Server {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// A shareable submit/drain handle.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Drains and joins the worker pool. Returns the final stats line.
+    pub fn shutdown(mut self) -> String {
+        let line = self.handle().drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        line
+    }
+}
+
+impl Handle {
+    /// Admits a query, or sheds it. Always returns a slot that will be
+    /// (or already is) fulfilled with exactly one response line.
+    pub fn submit(&self, query: Query) -> Arc<Slot> {
+        let inner = &self.inner;
+        let mut q = inner
+            .queue
+            .lock()
+            .expect("invariant: queue lock unpoisoned");
+        if q.draining || q.shutdown {
+            inner.stats.bump(&inner.stats.shed_drain);
+            trace::bump(Counter::ServeSheds);
+            return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "draining"));
+        }
+        if q.jobs.len() >= inner.cfg.queue_depth {
+            inner.stats.bump(&inner.stats.shed_queue);
+            trace::bump(Counter::ServeSheds);
+            return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "queue_full"));
+        }
+        let slot = Slot::new();
+        q.jobs.push_back(Job {
+            query,
+            slot: slot.clone(),
+        });
+        let depth = q.jobs.len() as u64;
+        inner.stats.bump(&inner.stats.admitted);
+        inner
+            .stats
+            .queue_depth_peak
+            .fetch_max(depth, Ordering::Relaxed);
+        trace::record_max(Counter::ServeQueueDepthPeak, depth);
+        trace::bump(Counter::ServeRequests);
+        drop(q);
+        inner.queue_cv.notify_one();
+        slot
+    }
+
+    /// Gracefully drains the server: stops admitting, waits for queued
+    /// and in-flight work up to the drain deadline, then cancels the
+    /// rest (cancelled requests still answer — with §4.6 bounds when
+    /// possible). Returns the final stats line. Idempotent; secondary
+    /// callers get the stats line without re-draining.
+    pub fn drain(&self) -> String {
+        let inner = &self.inner;
+        {
+            let mut q = inner
+                .queue
+                .lock()
+                .expect("invariant: queue lock unpoisoned");
+            if q.draining {
+                // Someone else is draining; fall through to wait below.
+            } else {
+                q.draining = true;
+            }
+        }
+        inner.queue_cv.notify_all();
+
+        let deadline = Instant::now() + Duration::from_millis(inner.cfg.drain_deadline_ms);
+        while Instant::now() < deadline {
+            if self.idle() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        if !self.idle() {
+            // Deadline expired: cancel all in-flight governed work and
+            // give it a bounded grace period to unwind and answer.
+            inner.drain_cancel.store(true, Ordering::Relaxed);
+            let grace = Instant::now() + Duration::from_millis(inner.cfg.drain_deadline_ms);
+            while Instant::now() < grace && !self.idle() {
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+        {
+            let mut q = inner
+                .queue
+                .lock()
+                .expect("invariant: queue lock unpoisoned");
+            q.shutdown = true;
+        }
+        inner.queue_cv.notify_all();
+        inner.drained.store(true, Ordering::Relaxed);
+        self.stats_line()
+    }
+
+    fn idle(&self) -> bool {
+        let q = self
+            .inner
+            .queue
+            .lock()
+            .expect("invariant: queue lock unpoisoned");
+        q.jobs.is_empty() && self.inner.inflight.load(Ordering::Relaxed) == 0
+    }
+
+    /// The `STATS` line: space-separated `key=value` counters.
+    pub fn stats_line(&self) -> String {
+        let s = &self.inner.stats;
+        let breaker = self
+            .inner
+            .breaker
+            .lock()
+            .expect("invariant: breaker lock unpoisoned");
+        let cache = self
+            .inner
+            .cache
+            .lock()
+            .expect("invariant: cache lock unpoisoned");
+        format!(
+            "STATS admitted={} ok={} errors={} shed_queue={} shed_drain={} \
+             cache_hits={} cache_misses={} cache_entries={} verify_mismatches={} \
+             breaker={} breaker_opens={} degraded_first={} drain_bounded={} \
+             queue_depth_peak={}",
+            s.admitted.load(Ordering::Relaxed),
+            s.ok.load(Ordering::Relaxed),
+            s.errors.load(Ordering::Relaxed),
+            s.shed_queue.load(Ordering::Relaxed),
+            s.shed_drain.load(Ordering::Relaxed),
+            s.cache_hits.load(Ordering::Relaxed),
+            s.cache_misses.load(Ordering::Relaxed),
+            cache.len(),
+            s.verify_mismatches.load(Ordering::Relaxed),
+            breaker.state_name(),
+            breaker.opens(),
+            s.degraded_first.load(Ordering::Relaxed),
+            s.drain_bounded.load(Ordering::Relaxed),
+            s.queue_depth_peak.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Read-only access to the counters (for harnesses).
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Whether a drain has completed.
+    pub fn is_drained(&self) -> bool {
+        self.inner.drained.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        if let Some(gate) = &inner.cfg.hold {
+            gate.wait();
+        }
+        let job = {
+            let mut q = inner
+                .queue
+                .lock()
+                .expect("invariant: queue lock unpoisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner
+                    .queue_cv
+                    .wait(q)
+                    .expect("invariant: queue lock unpoisoned");
+            }
+        };
+        inner.inflight.fetch_add(1, Ordering::Relaxed);
+        // The outer unwind boundary: a panic anywhere in processing —
+        // including inside rendering — poisons only this request.
+        let line =
+            catch_unwind(AssertUnwindSafe(|| process(inner, &job.query))).unwrap_or_else(|_| {
+                inner.stats.bump(&inner.stats.errors);
+                err_line(&job.query.id, "internal", "request processing panicked")
+            });
+        job.slot.fulfil(line);
+        inner.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Computes the response line for one query. Runs on a worker, inside
+/// its unwind boundary.
+fn process(inner: &Arc<Inner>, query: &Query) -> String {
+    let id = &query.id;
+
+    // Parse the formula (and polynomial) into a fresh space.
+    let mut space = Space::new();
+    for v in &query.vars {
+        space.var(v);
+    }
+    let formula = match parse_formula(&query.formula_text, &mut space) {
+        Ok(f) => f,
+        Err(e) => {
+            inner.stats.bump(&inner.stats.errors);
+            return err_line(id, "parse", &e.to_string());
+        }
+    };
+    let poly = match &query.poly_text {
+        None => QPoly::one(),
+        Some(text) => match parse_affine(text, &mut space) {
+            Ok(a) => QPoly::from_affine(&a),
+            Err(e) => {
+                inner.stats.bump(&inner.stats.errors);
+                return err_line(id, "parse", &format!("in polynomial: {e}"));
+            }
+        },
+    };
+    let vars: Vec<_> = query
+        .vars
+        .iter()
+        .map(|v| {
+            space
+                .lookup(v)
+                .expect("invariant: counted variables were interned above")
+        })
+        .collect();
+
+    // Canonical cache key: verb + vars + re-rendered formula +
+    // canonical poly + budget overrides (see module docs on replay).
+    let verb = match query.verb {
+        Verb::Count => "count",
+        Verb::Sum => "sum",
+    };
+    let cache_key = format!(
+        "{verb}|{}|{}|{}|{}",
+        query.vars.join(","),
+        query.overrides.cache_key_part(),
+        query
+            .poly_text
+            .as_deref()
+            .map(|_| poly.to_string(&space))
+            .unwrap_or_default(),
+        formula.to_string(&space),
+    );
+
+    if let Some((payload, ordinal)) = inner
+        .cache
+        .lock()
+        .expect("invariant: cache lock unpoisoned")
+        .get(&cache_key)
+    {
+        inner.stats.bump(&inner.stats.cache_hits);
+        trace::bump(Counter::ServeCacheHits);
+        let verify = matches!(inner.cfg.verify_every, Some(n) if n > 0 && ordinal % n == 0);
+        if !verify {
+            inner.stats.bump(&inner.stats.ok);
+            return format!("OK {id} {payload}");
+        }
+        // Verify mode: recompute this hit and alarm on mismatch.
+        let (fresh, _) = compute(inner, query, &space, &formula, &vars, &poly);
+        if fresh != payload {
+            inner.stats.bump(&inner.stats.verify_mismatches);
+            eprintln!(
+                "serve: CACHE VERIFY MISMATCH for request {id}: cached {payload:?} vs recomputed {fresh:?}"
+            );
+            inner
+                .cache
+                .lock()
+                .expect("invariant: cache lock unpoisoned")
+                .put(&cache_key, &fresh);
+        }
+        inner.stats.bump(&inner.stats.ok);
+        return format!("OK {id} {fresh}");
+    }
+    inner.stats.bump(&inner.stats.cache_misses);
+    trace::bump(Counter::ServeCacheMisses);
+
+    let (payload, outcome) = compute(inner, query, &space, &formula, &vars, &poly);
+    match outcome {
+        ComputeOutcome::Exact => {
+            inner
+                .cache
+                .lock()
+                .expect("invariant: cache lock unpoisoned")
+                .put(&cache_key, &payload);
+            inner.stats.bump(&inner.stats.ok);
+            format!("OK {id} {payload}")
+        }
+        ComputeOutcome::Bounded => {
+            inner.stats.bump(&inner.stats.ok);
+            format!("OK {id} {payload}")
+        }
+        ComputeOutcome::Error => {
+            inner.stats.bump(&inner.stats.errors);
+            payload
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum ComputeOutcome {
+    Exact,
+    Bounded,
+    Error,
+}
+
+/// Runs the governed computation per the breaker's plan and renders the
+/// response *payload* (the part after `OK <id> `) or, for errors, the
+/// full `ERR` line.
+fn compute(
+    inner: &Arc<Inner>,
+    query: &Query,
+    space: &Space,
+    formula: &presburger_omega::Formula,
+    vars: &[presburger_omega::VarId],
+    poly: &QPoly,
+) -> (String, ComputeOutcome) {
+    let id = &query.id;
+    let plan = inner
+        .breaker
+        .lock()
+        .expect("invariant: breaker lock unpoisoned")
+        .plan(Instant::now());
+
+    let opts = CountOptions {
+        threads: query.overrides.threads.unwrap_or(1),
+        ..CountOptions::default()
+    };
+
+    let mut budgets = query.overrides.budgets(&inner.cfg.default_budgets);
+    if budgets.deadline.is_none() {
+        budgets.deadline = inner.cfg.default_deadline_ms.map(Duration::from_millis);
+    }
+
+    if plan == Plan::Degrade {
+        // Breaker open: skip the exact path entirely, answer with the
+        // §4.6 bounds — still governed by the request's budgets, so a
+        // degraded reply cannot run away either.
+        inner.stats.bump(&inner.stats.degraded_first);
+        return match bounds(space, formula, vars, poly, &opts, budgets) {
+            Ok((lo, hi)) => (
+                format!(
+                    "bounded breaker_open {} ; {}",
+                    protocol::sanitize(&lo),
+                    protocol::sanitize(&hi)
+                ),
+                ComputeOutcome::Bounded,
+            ),
+            Err(e) => (
+                err_line(id, e.kind(), &e.to_string()),
+                ComputeOutcome::Error,
+            ),
+        };
+    }
+
+    let mut gov = Governor::new(budgets).with_cancel_token(inner.drain_cancel.clone());
+    if let Some(spec) = &inner.cfg.fault_spec {
+        gov = gov
+            .with_fault(spec)
+            .expect("invariant: cfg.fault_spec was validated at server start");
+    }
+
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        try_sum_polynomial_governed(space, formula, vars, poly, &opts, &gov)
+    }));
+    let result = match run {
+        Ok(r) => r,
+        Err(_) => Err(CountError::Internal(
+            "governed run panicked outside its own boundaries".to_string(),
+        )),
+    };
+
+    let failure = matches!(
+        &result,
+        Err(CountError::Internal(_) | CountError::Deadline { .. })
+            | Ok(Outcome::Bounded {
+                why: CountError::Deadline { .. },
+                ..
+            })
+    );
+    inner
+        .breaker
+        .lock()
+        .expect("invariant: breaker lock unpoisoned")
+        .record(plan, failure, Instant::now());
+    if failure {
+        inner.stats.breaker_opens.store(
+            inner
+                .breaker
+                .lock()
+                .expect("invariant: breaker lock unpoisoned")
+                .opens(),
+            Ordering::Relaxed,
+        );
+    }
+
+    match result {
+        Ok(Outcome::Exact(v)) => (
+            format!("exact {}", protocol::sanitize(&v.to_display_string())),
+            ComputeOutcome::Exact,
+        ),
+        Ok(Outcome::Bounded {
+            lower, upper, why, ..
+        }) => (
+            format!(
+                "bounded {} {} ; {}",
+                why.kind(),
+                protocol::sanitize(&lower.to_display_string()),
+                protocol::sanitize(&upper.to_display_string())
+            ),
+            ComputeOutcome::Bounded,
+        ),
+        Err(CountError::Cancelled) if inner.drain_cancel.load(Ordering::Relaxed) => {
+            // Drain-deadline cancellation: rescue the request with the
+            // budgeted §4.6 bounds so it still gets an answer.
+            inner.stats.bump(&inner.stats.drain_bounded);
+            match bounds(space, formula, vars, poly, &opts, budgets) {
+                Ok((lo, hi)) => (
+                    format!(
+                        "bounded cancelled {} ; {}",
+                        protocol::sanitize(&lo),
+                        protocol::sanitize(&hi)
+                    ),
+                    ComputeOutcome::Bounded,
+                ),
+                Err(_) => (
+                    err_line(id, "cancelled", "cancelled by drain deadline"),
+                    ComputeOutcome::Error,
+                ),
+            }
+        }
+        Err(e) => (
+            err_line(id, e.kind(), &e.to_string()),
+            ComputeOutcome::Error,
+        ),
+    }
+}
+
+/// Budgeted §4.6 lower/upper bounds for the degrade-first and
+/// drain-rescue paths. Governed by the request's merged budgets with
+/// the injected fault disarmed (see
+/// [`presburger_counting::try_sum_polynomial_bounds`]) and a fresh
+/// cancellation token — a drain rescue must not be cancelled by the
+/// very drain token that sent it here.
+fn bounds(
+    space: &Space,
+    formula: &presburger_omega::Formula,
+    vars: &[presburger_omega::VarId],
+    poly: &QPoly,
+    opts: &CountOptions,
+    budgets: Budgets,
+) -> Result<(String, String), CountError> {
+    let gov = Governor::new(budgets);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        try_sum_polynomial_bounds(space, formula, vars, poly, opts, &gov)
+    }));
+    match r {
+        Ok(Ok((lo, hi))) => Ok((lo.to_display_string(), hi.to_display_string())),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(CountError::Internal("bound pass panicked".to_string())),
+    }
+}
+
+/// Serves one connection: reads newline-delimited requests from
+/// `reader`, answers each with exactly one line on `writer`, in request
+/// order. Returns after `drain` (server-wide) or EOF; when
+/// `drain_on_eof` is set, EOF triggers a server drain and the final
+/// stats line is emitted before returning.
+pub fn serve_connection(
+    handle: &Handle,
+    reader: impl BufRead,
+    mut writer: impl Write + Send + 'static,
+    drain_on_eof: bool,
+) -> Result<(), ServeError> {
+    // Per-connection FIFO writer: slots are enqueued in request order
+    // and emitted in that order, whatever order workers finish in.
+    let (tx, rx) = mpsc::channel::<Arc<Slot>>();
+    let writer_thread = thread::Builder::new()
+        .name("serve-writer".to_string())
+        .spawn(
+            move || -> (Box<dyn Write + Send>, Result<(), std::io::Error>) {
+                for slot in rx {
+                    let line = slot.wait();
+                    if let Err(e) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
+                        return (Box::new(writer), Err(e));
+                    }
+                }
+                (Box::new(writer), Ok(()))
+            },
+        )?;
+
+    let mut saw_drain = false;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                drop(tx);
+                let _ = writer_thread.join();
+                return Err(ServeError::Io(e));
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let slot = match parse_request(trimmed) {
+            Ok(Request::Query(q)) => handle.submit(q),
+            Ok(Request::Ping(id)) => Slot::ready(match id {
+                Some(id) => format!("PONG {id}"),
+                None => "PONG".to_string(),
+            }),
+            Ok(Request::Stats) => Slot::ready(handle.stats_line()),
+            Ok(Request::Drain) => {
+                saw_drain = true;
+                let stats = handle.drain();
+                Slot::ready(format!("{stats}\nBYE"))
+            }
+            Err(e) => Slot::ready(err_line(e.id.as_deref().unwrap_or("-"), e.kind, &e.detail)),
+        };
+        if tx.send(slot).is_err() {
+            break; // writer died (broken pipe); stop reading
+        }
+        if saw_drain {
+            break;
+        }
+    }
+
+    if drain_on_eof && !saw_drain {
+        let stats = handle.drain();
+        let _ = tx.send(Slot::ready(stats));
+    }
+    drop(tx);
+    match writer_thread.join() {
+        Ok((_, Err(e))) => Err(ServeError::Io(e)),
+        _ => Ok(()),
+    }
+}
+
+/// Runs a server over stdin/stdout: one request per line, one response
+/// per line, drain on EOF or on a `drain` request. Returns the final
+/// stats line.
+pub fn run_stdio(cfg: ServeConfig) -> Result<String, ServeError> {
+    validate(&cfg)?;
+    let server = Server::start(cfg);
+    let handle = server.handle();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_connection(&handle, stdin.lock(), stdout, true)?;
+    Ok(server.shutdown())
+}
+
+/// A TCP front-end: accepts connections and serves each on its own
+/// thread until [`TcpServer::drain`] (or a client sends `drain`).
+pub struct TcpServer {
+    server: Server,
+    addr: std::net::SocketAddr,
+    accept_thread: thread::JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> Result<TcpServer, ServeError> {
+        validate(&cfg)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let server = Server::start(cfg);
+        let handle = server.handle();
+        let accept_thread = thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, handle))?;
+        Ok(TcpServer {
+            server,
+            addr: local,
+            accept_thread,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A submit/drain handle.
+    pub fn handle(&self) -> Handle {
+        self.server.handle()
+    }
+
+    /// Drains the server and stops accepting. Returns the final stats
+    /// line.
+    pub fn shutdown(self) -> String {
+        let line = self.server.shutdown();
+        let _ = self.accept_thread.join();
+        line
+    }
+}
+
+fn accept_loop(listener: TcpListener, handle: Handle) {
+    loop {
+        if handle.is_drained()
+            || handle
+                .inner
+                .queue
+                .lock()
+                .expect("invariant: queue lock unpoisoned")
+                .shutdown
+        {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let handle = handle.clone();
+                let _ = thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_tcp_connection(&handle, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_tcp_connection(handle: &Handle, stream: TcpStream) -> Result<(), ServeError> {
+    stream.set_nonblocking(false)?;
+    let reader = std::io::BufReader::new(stream.try_clone()?);
+    serve_connection(handle, reader, stream, false)
+}
+
+fn validate(cfg: &ServeConfig) -> Result<(), ServeError> {
+    if cfg.queue_depth == 0 {
+        return Err(ServeError::Config("queue_depth must be at least 1".into()));
+    }
+    if let Some(spec) = &cfg.fault_spec {
+        presburger_trace::govern::parse_fault(spec)
+            .map_err(|e| ServeError::Config(format!("fault_spec: {e}")))?;
+    }
+    Ok(())
+}

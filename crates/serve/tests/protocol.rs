@@ -1,0 +1,301 @@
+//! Golden-transcript tests: recorded serving sessions replayed
+//! byte-for-byte.
+//!
+//! Each session drives a real server over TCP loopback as an
+//! *interactive* client — one request, one awaited response — so every
+//! counter in the `STATS` lines is deterministic (queue depth never
+//! exceeds one except where a session pipelines deliberately). The
+//! expected transcripts are frozen below; any change to response
+//! wording, stats fields, breaker behavior, shedding or drain output
+//! shows up as a byte diff.
+//!
+//! To re-record after an intentional protocol change:
+//! `PRESBURGER_SERVE_RECORD=1 cargo test -p presburger-serve --test
+//! protocol -- --nocapture` and paste the printed transcripts.
+
+use presburger_counting::Budgets;
+use presburger_serve::server::Gate;
+use presburger_serve::{ServeConfig, TcpServer};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One scripted step: a request line and how many response lines to
+/// await before sending the next (0 = fire and forget).
+struct Step(&'static str, usize);
+
+/// Runs a scripted session against `cfg`; returns the full response
+/// transcript. `gate`, when given, is opened `gate_after_ms` after the
+/// last request line is sent (for shed scenarios that pipeline against
+/// held workers).
+fn run_session(cfg: ServeConfig, steps: &[Step], gate: Option<&Gate>) -> String {
+    let server = TcpServer::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect loopback");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut transcript = String::new();
+    for Step(line, await_n) in steps {
+        writeln!(stream, "{line}").expect("write request");
+        stream.flush().expect("flush request");
+        for _ in 0..*await_n {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            transcript.push_str(&response);
+        }
+    }
+    if let Some(gate) = gate {
+        std::thread::sleep(Duration::from_millis(100));
+        gate.open();
+    }
+    // Read whatever remains (pipelined responses, drain stats, BYE)
+    // until the server closes the connection.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read to EOF");
+    transcript.push_str(&rest);
+    server.shutdown();
+    transcript
+}
+
+fn check(label: &str, got: &str, want: &str) {
+    if std::env::var("PRESBURGER_SERVE_RECORD").is_ok() {
+        println!("=== {label} ===\n{got}=== end {label} ===");
+        return;
+    }
+    assert_eq!(
+        got, want,
+        "{label}: transcript drifted from the golden recording"
+    );
+}
+
+/// Deterministic base config: no wall-clock deadline (replayable), one
+/// worker.
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        default_deadline_ms: None,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn golden_normal_session() {
+    // Counts, a sum, a cached repeat, protocol and parse errors, ping,
+    // stats, drain. Every response in request order.
+    let steps = [
+        Step("ping", 1),
+        Step("ping warmup", 1),
+        Step("count c1 {x : 1 <= x <= 9}", 1),
+        Step("count c2 {i,j : 1 <= i <= j <= 4}", 1),
+        Step("sum c3 x {x : 1 <= x <= 4}", 1),
+        Step("count c4 {x : 1 <= x <= n}", 1),
+        // Identical to c1 after canonicalization: served from cache.
+        Step("count c5 {x : 1 <= x <= 9}", 1),
+        // A budget override makes a different cache key, and the
+        // splinter cap trips on this body: answered with §4.6 bounds.
+        Step(splintery_override_line(), 1),
+        Step("count c7 {x : x >= 0}", 1),
+        Step("zap c8 {x : x = 1}", 1),
+        Step("count c9 {x : 1 <=}", 1),
+        Step("count {x : x = 1}", 1),
+        Step("stats", 1),
+        Step("drain", 0),
+    ];
+    let got = run_session(base_cfg(), &steps, None);
+    let want = "PONG\n\
+PONG warmup\n\
+OK c1 exact 9\n\
+OK c2 exact 10\n\
+OK c3 exact 10\n\
+OK c4 exact (\u{3a3} : n - 1 >= 0 : n)\n\
+OK c5 exact 9\n\
+OK c6 bounded budget 25 ; 25\n\
+ERR c7 unbounded summation variable x is unbounded\n\
+ERR - protocol unknown verb \"zap\" (expected count, sum, ping, stats or drain)\n\
+ERR c9 parse parse error at line 1, column 6: expected a term\n\
+ERR - protocol missing request id\n\
+STATS admitted=8 ok=6 errors=2 shed_queue=0 shed_drain=0 cache_hits=1 cache_misses=6 cache_entries=4 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+STATS admitted=8 ok=6 errors=2 shed_queue=0 shed_drain=0 cache_hits=1 cache_misses=6 cache_entries=4 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("normal", &got, want);
+}
+
+#[test]
+fn golden_shed_session() {
+    // Workers held shut behind a gate, queue depth 1: the first count
+    // is admitted, the next two shed with reason=queue_full. The gate
+    // opens after all three are pipelined, the admitted request
+    // answers, and responses still arrive strictly in request order.
+    let gate = Gate::new(true);
+    let cfg = ServeConfig {
+        queue_depth: 1,
+        hold: Some(gate.clone()),
+        ..base_cfg()
+    };
+    let steps = [
+        Step("count s1 {x : 1 <= x <= 3}", 0),
+        Step("count s2 {x : 1 <= x <= 3}", 0),
+        Step("count s3 {x : 1 <= x <= 3}", 0),
+        Step("drain", 0),
+    ];
+    let got = run_session(cfg, &steps, Some(&gate));
+    let want = "OK s1 exact 3\n\
+SHED s2 retry_after_ms=50 reason=queue_full\n\
+SHED s3 retry_after_ms=50 reason=queue_full\n\
+STATS admitted=1 ok=1 errors=0 shed_queue=2 shed_drain=0 cache_hits=0 cache_misses=1 cache_entries=1 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("shed", &got, want);
+}
+
+/// The splinter-heavy Example 11 body: an armed
+/// `splinters_generated:1:panic` fault always fires on it, and never on
+/// a splinter-free formula.
+const SPLINTERY: &str = "exists beta : 3beta - alpha >= 0 && -3beta + alpha + 7 >= 0 \
+                         && alpha - 2beta - 1 >= 0 && -alpha + 2beta + 5 >= 0";
+
+/// A leaked `count <id> {alpha : E11}` line (Step holds `&'static`).
+fn splintery_line(id: &str) -> &'static str {
+    Box::leak(format!("count {id} {{alpha : {SPLINTERY}}}").into_boxed_str())
+}
+
+/// Example 11 under a zero splinter budget: always degrades to bounds.
+fn splintery_override_line() -> &'static str {
+    Box::leak(format!("count c6 max_splinters=0 {{alpha : {SPLINTERY}}}").into_boxed_str())
+}
+
+#[test]
+fn golden_breaker_open_session() {
+    // A 1-strike breaker with an effectively infinite cooldown: the
+    // first faulted request opens it, and every later request — even a
+    // perfectly healthy one — is answered degrade-first with §4.6
+    // bounds instead of touching the poisoned exact path.
+    let cfg = ServeConfig {
+        breaker_failures: 1,
+        breaker_cooldown_ms: 3_600_000,
+        fault_spec: Some("splinters_generated:1:panic".to_string()),
+        cache_entries: 0,
+        ..base_cfg()
+    };
+    let steps = [
+        Step(splintery_line("b1"), 1),
+        Step(splintery_line("b2"), 1),
+        Step("count b3 {x : 1 <= x <= 9}", 1),
+        Step("stats", 1),
+        Step("drain", 0),
+    ];
+    let got = run_session(cfg, &steps, None);
+    let want = "ERR b1 internal internal error: injected fault: splinters_generated at 1\n\
+OK b2 bounded breaker_open 25 ; 25\n\
+OK b3 bounded breaker_open 9 ; 9\n\
+STATS admitted=3 ok=2 errors=1 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=3 cache_entries=0 verify_mismatches=0 breaker=open breaker_opens=1 degraded_first=2 drain_bounded=0 queue_depth_peak=1\n\
+STATS admitted=3 ok=2 errors=1 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=3 cache_entries=0 verify_mismatches=0 breaker=open breaker_opens=1 degraded_first=2 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("breaker-open", &got, want);
+}
+
+#[test]
+fn golden_breaker_recovery_session() {
+    // Zero cooldown: the breaker opens on the first faulted request and
+    // immediately half-opens for the next one. A clean request (the
+    // fault cannot fire without splinters) is the probe; it succeeds
+    // and closes the breaker, after which exact service resumes.
+    let cfg = ServeConfig {
+        breaker_failures: 1,
+        breaker_cooldown_ms: 0,
+        fault_spec: Some("splinters_generated:1:panic".to_string()),
+        cache_entries: 0,
+        ..base_cfg()
+    };
+    let steps = [
+        Step(splintery_line("r1"), 1),
+        Step("count r2 {x : 1 <= x <= 9}", 1),
+        Step("count r3 {x : 2 <= x <= 9}", 1),
+        Step("stats", 1),
+        Step("drain", 0),
+    ];
+    let got = run_session(cfg, &steps, None);
+    let want = "ERR r1 internal internal error: injected fault: splinters_generated at 1\n\
+OK r2 exact 9\n\
+OK r3 exact 8\n\
+STATS admitted=3 ok=2 errors=1 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=3 cache_entries=0 verify_mismatches=0 breaker=closed breaker_opens=1 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+STATS admitted=3 ok=2 errors=1 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=3 cache_entries=0 verify_mismatches=0 breaker=closed breaker_opens=1 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("breaker-recovery", &got, want);
+}
+
+#[test]
+fn golden_drain_session() {
+    // Drain mid-session: requests before the drain answer normally,
+    // the drain emits the final stats and BYE, and the connection
+    // closes. A second connection opened after the drain is shed.
+    let cfg = ServeConfig {
+        default_budgets: Budgets {
+            max_splinters: Some(512),
+            ..Budgets::unlimited()
+        },
+        ..base_cfg()
+    };
+    let server = TcpServer::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    // A second connection, opened before the drain: its serving thread
+    // outlives the listener, so post-drain queries on it still get an
+    // orderly SHED instead of a dead socket.
+    let mut late = TcpStream::connect(addr).expect("second connect");
+    let mut late_reader = BufReader::new(late.try_clone().expect("clone second"));
+    let mut transcript = String::new();
+    for line in ["count d1 {x : 1 <= x <= 5}", "sum d2 x {x : 1 <= x <= 5}"] {
+        writeln!(stream, "{line}").expect("write");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        transcript.push_str(&response);
+    }
+    writeln!(stream, "drain").expect("write drain");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain tail");
+    transcript.push_str(&rest);
+
+    let want = "OK d1 exact 5\n\
+OK d2 exact 15\n\
+STATS admitted=2 ok=2 errors=0 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=2 cache_entries=2 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("drain", &transcript, want);
+
+    // The server is drained: a late query on the surviving second
+    // connection sheds with reason=draining.
+    writeln!(late, "count late {{x : 1 <= x <= 5}}").expect("late write");
+    let mut response = String::new();
+    late_reader.read_line(&mut response).expect("late read");
+    check(
+        "drain-late",
+        &response,
+        "SHED late retry_after_ms=50 reason=draining\n",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn verify_mode_detects_poisoned_cache_entries() {
+    // Not a golden session: drive the verify path directly through the
+    // public server API by exercising a cache hit under verify_every=1
+    // (every hit recomputed). A healthy cache must produce zero
+    // mismatches; the alarm path is unit-tested via the stats counter.
+    let cfg = ServeConfig {
+        verify_every: Some(1),
+        ..base_cfg()
+    };
+    let server = presburger_serve::Server::start(cfg);
+    let handle = server.handle();
+    for id in ["v1", "v2", "v3"] {
+        let line = format!("count {id} {{x : 1 <= x <= 6}}");
+        let reply = match presburger_serve::parse_request(&line).expect("parse") {
+            presburger_serve::Request::Query(q) => handle.submit(q).wait(),
+            _ => unreachable!(),
+        };
+        assert_eq!(reply, format!("OK {id} exact 6"));
+    }
+    assert_eq!(handle.stats().cache_hits(), 2);
+    assert_eq!(handle.stats().verify_mismatches(), 0);
+    server.shutdown();
+}

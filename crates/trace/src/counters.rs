@@ -126,6 +126,23 @@ counters! {
     ClausesDegraded => "clauses_degraded" / count,
     /// Worker panics caught and isolated by the clause pipeline.
     WorkerPanics => "worker_panics" / count,
+    /// Requests admitted by the serving layer (`presburger-serve`).
+    ServeRequests => "serve_requests" / count,
+    /// Load-shedding replies issued by the serving layer's admission
+    /// queue (queue full or draining).
+    ServeSheds => "serve_sheds" / count,
+    /// Circuit-breaker closed→open transitions in the serving layer.
+    ServeBreakerOpens => "serve_breaker_opens" / count,
+    /// Most severe circuit-breaker state reached (gauge: 0 closed,
+    /// 1 half-open, 2 open).
+    ServeBreakerState => "serve_breaker_state" / gauge,
+    /// Result-cache hits in the serving layer.
+    ServeCacheHits => "serve_cache_hits" / count,
+    /// Result-cache misses in the serving layer.
+    ServeCacheMisses => "serve_cache_misses" / count,
+    /// Deepest admission-queue depth observed by the serving layer
+    /// (gauge).
+    ServeQueueDepthPeak => "serve_queue_depth_peak" / gauge,
 }
 
 impl fmt::Display for Counter {

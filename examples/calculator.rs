@@ -25,9 +25,17 @@
 //!   splinters per clause;
 //! * `--degrade=bounds|error` — what a governed query does when it
 //!   exhausts a budget: degrade to the paper's §4.6 lower/upper bounds
-//!   (the default) or fail with the budget error.
+//!   (the default) or fail with the budget error;
+//! * `--serve` — instead of answering queries from the command line,
+//!   run the hardened serving loop over stdin/stdout: one request per
+//!   line (`count <id> {vars : formula}`, `ping`, `stats`, `drain`),
+//!   one response per line, with admission control, circuit breaking
+//!   and graceful drain on EOF (see `presburger_serve`). `--threads`
+//!   sets the worker count and `--timeout` the per-request deadline.
 
 use presburger::prelude::*;
+use presburger::serve::ServeConfig;
+use presburger::trace::json::JsonObject;
 use presburger_counting::try_count_solutions;
 use presburger_omega::parse_formula;
 use std::time::Duration;
@@ -36,10 +44,33 @@ struct Options {
     stats: bool,
     trace: bool,
     json: bool,
+    serve: bool,
     threads: usize,
     timeout_ms: Option<u64>,
     max_splinters: Option<u64>,
     degrade: Option<DegradePolicy>,
+}
+
+/// A failed query: a stable machine-readable kind plus human detail.
+/// With `--json` it renders as `{"error": {"kind": …, "detail": …}}`.
+struct QueryError {
+    kind: &'static str,
+    detail: String,
+}
+
+impl QueryError {
+    fn query(detail: impl Into<String>) -> QueryError {
+        QueryError {
+            kind: "query",
+            detail: detail.into(),
+        }
+    }
+}
+
+impl From<&'static str> for QueryError {
+    fn from(detail: &'static str) -> QueryError {
+        QueryError::query(detail)
+    }
 }
 
 impl Options {
@@ -49,7 +80,7 @@ impl Options {
     }
 }
 
-fn run_query(query: &str, opts: &Options) -> Result<(), String> {
+fn run_query(query: &str, opts: &Options) -> Result<(), QueryError> {
     let query = query.trim();
     let rest = query
         .strip_prefix("count")
@@ -68,7 +99,10 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
         .split(',')
         .map(|name| space.var(name.trim()))
         .collect();
-    let f = parse_formula(formula_text, &mut space).map_err(|e| e.to_string())?;
+    let f = parse_formula(formula_text, &mut space).map_err(|e| QueryError {
+        kind: "parse",
+        detail: e.to_string(),
+    })?;
     let symbols: Vec<String> = f
         .free_vars()
         .into_iter()
@@ -91,7 +125,10 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
         })
         .with_degrade(opts.degrade.unwrap_or_default());
         let out = presburger::try_count_solutions_governed(&space, &f, &vars, &count_opts, &gov)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| QueryError {
+                kind: e.kind(),
+                detail: e.to_string(),
+            })?;
         match out {
             Outcome::Exact(count) => {
                 println!("  = {}", count.to_display_string());
@@ -122,7 +159,10 @@ fn run_query(query: &str, opts: &Options) -> Result<(), String> {
         }
     } else {
         let count =
-            try_count_solutions(&space, &f, &vars, &count_opts).map_err(|e| e.to_string())?;
+            try_count_solutions(&space, &f, &vars, &count_opts).map_err(|e| QueryError {
+                kind: e.kind(),
+                detail: e.to_string(),
+            })?;
         println!("  = {}", count.to_display_string());
         print_samples(&symbols, &|b| fmt(count.eval_i64(b)));
     }
@@ -176,6 +216,7 @@ fn main() {
         stats: false,
         trace: false,
         json: false,
+        serve: false,
         threads: CountOptions::default().threads,
         timeout_ms: None,
         max_splinters: None,
@@ -188,6 +229,7 @@ fn main() {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
             "--json" => opts.json = true,
+            "--serve" => opts.serve = true,
             "--threads" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => opts.threads = n,
                 _ => {
@@ -222,6 +264,26 @@ fn main() {
     presburger::enable_stats(opts.stats);
     presburger::trace::enable_tracing(opts.trace);
 
+    if opts.serve {
+        let cfg = ServeConfig {
+            workers: presburger::resolve_threads(opts.threads).max(1),
+            default_deadline_ms: opts
+                .timeout_ms
+                .or(ServeConfig::default().default_deadline_ms),
+            ..ServeConfig::default()
+        };
+        match presburger::serve::run_stdio(cfg) {
+            Ok(stats) => {
+                eprintln!("{stats}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let queries: Vec<String> = if rest.is_empty() {
         [
             // the paper's running examples, in calculator syntax
@@ -241,7 +303,15 @@ fn main() {
     let mut failed = false;
     for q in &queries {
         if let Err(e) = run_query(q, &opts) {
-            eprintln!("error in {q:?}: {e}");
+            if opts.json {
+                let mut inner = JsonObject::new();
+                inner.field_str("kind", e.kind);
+                inner.field_str("detail", &e.detail);
+                let mut obj = JsonObject::new();
+                obj.field_raw("error", &inner.finish());
+                println!("{}", obj.finish());
+            }
+            eprintln!("error in {q:?}: {} ({})", e.detail, e.kind);
             failed = true;
         }
     }

@@ -84,6 +84,23 @@ for fault in count_off_by_one miscount_stride; do
         generated_formulas_agree_with_all_oracles > /dev/null
 done
 
+echo "==> serve smoke (admission, shedding, breaker, drain, replay determinism)"
+# serve_stress drives the hardened serving layer end to end (DESIGN.md
+# §11): 200 concurrent mixed requests over 4 connections at 1 and 4
+# workers with zero lost/duplicated/misordered responses and
+# byte-identical transcripts across runs; deterministic shedding under
+# a tiny queue; a fault drill (worker panics → breaker opens → degraded
+# bounds → half-open probe → recovery); graceful and zero-deadline
+# drain; and a latency/throughput recording to BENCH_serve.json.
+echo "    clean run (records BENCH_serve.json)"
+cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
+# The same suite must hold with a panic fault armed process-wide: the
+# fault only fires inside governed exact regions, so phase 1's replay
+# determinism now covers panic isolation on every splintery request.
+echo "    PRESBURGER_FAULT=splinters_generated:1:panic (panic isolation under load)"
+PRESBURGER_FAULT=splinters_generated:1:panic PRESBURGER_SERVE_BENCH_OUT="" \
+    cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
+
 echo "==> trace overhead smoke (disabled collector & governor < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 

@@ -13,7 +13,9 @@
 //! * [`gen`] — generative differential testing: random-formula
 //!   generation, multi-oracle cross-checks, shrinking, seed corpus;
 //! * [`trace`] — zero-dependency observability: pipeline counters,
-//!   timing spans, and human-readable `explain` derivations.
+//!   timing spans, and human-readable `explain` derivations;
+//! * [`serve`] — a hardened request-serving layer: admission control,
+//!   load shedding, circuit breaking, result caching, graceful drain.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use presburger_counting as counting;
 pub use presburger_gen as gen;
 pub use presburger_omega as omega;
 pub use presburger_polyq as polyq;
+pub use presburger_serve as serve;
 pub use presburger_trace as trace;
 
 /// Turns pipeline counters on or off for the current thread.
@@ -119,8 +122,8 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// assert!(out.is_exact());
 /// ```
 pub use presburger_counting::{
-    try_count_solutions_governed, try_sum_polynomial_governed, Budgets, ClauseStatus, CountError,
-    DegradePolicy, EvalError, Governor, Outcome,
+    try_count_solutions_governed, try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets,
+    ClauseStatus, CountError, DegradePolicy, EvalError, Governor, Outcome,
 };
 
 /// Convenient glob-import of the most commonly used items.
@@ -128,8 +131,8 @@ pub mod prelude {
     pub use presburger_arith::{Int, Rat};
     pub use presburger_counting::{
         count_solutions, sum_polynomial, try_count_solutions, try_count_solutions_governed,
-        try_sum_polynomial_governed, Budgets, ClauseStatus, CountError, CountOptions,
-        DegradePolicy, EvalError, Governor, Mode, Outcome,
+        try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets, ClauseStatus, CountError,
+        CountOptions, DegradePolicy, EvalError, Governor, Mode, Outcome,
     };
     pub use presburger_omega::{Affine, Constraint, Formula, Space, VarId};
     pub use presburger_polyq::{GuardedValue, QPoly};

@@ -19,6 +19,7 @@ use presburger::gen::{
     cases_from_env, check_case, constraint_count, corpus, generate, seed_from_env, shrink_case,
     BudgetChoice, GenConfig, Harness, Rng,
 };
+use presburger::omega::{parse_formula, Space};
 use std::path::Path;
 
 /// Cases per run when `PRESBURGER_GEN_CASES` is unset: small enough for
@@ -118,4 +119,61 @@ fn corpus_replay() {
         }
     }
     println!("replayed {} corpus cases", cases.len());
+}
+
+/// The parser must be total on *any* byte sequence: every corpus
+/// formula truncated at every char boundary, splice-mutated with
+/// operator/keyword junk, and prefixed into garbage must come back
+/// `Ok` or a structured `ParseFormulaError` (with a line/column the
+/// caret renderer can point at) — never a panic. This is the
+/// integration-level companion of the in-crate
+/// `parse::tests::arbitrary_bytes_never_panic`.
+#[test]
+fn corpus_mutations_never_panic_the_parser() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("loading tests/corpus");
+    const JUNK: [&str; 10] = [
+        "",
+        "|",
+        "||",
+        "&& exists",
+        "<=",
+        "9999999999999999999999",
+        ")",
+        "(",
+        "\n\n|",
+        "\u{fffd}",
+    ];
+
+    let mut attempts = 0u64;
+    for entry in &cases {
+        let text = &entry.text;
+        let mut probe = |input: &str| {
+            let mut s = Space::new();
+            attempts += 1;
+            if let Err(e) = parse_formula(input, &mut s) {
+                // Structured, caret-renderable positions: 1-based, and
+                // the column must lie inside (or one past) its line.
+                assert!(e.line >= 1 && e.column >= 1, "bad position: {e}");
+                let line = input.lines().nth(e.line - 1).unwrap_or("");
+                assert!(
+                    e.column <= line.chars().count() + 1,
+                    "column {} beyond line {:?} for input {input:?}",
+                    e.column,
+                    line
+                );
+            }
+        };
+        for cut in 0..=text.len() {
+            if text.is_char_boundary(cut) {
+                probe(&text[..cut]);
+                for junk in JUNK {
+                    probe(&format!("{}{junk}{}", &text[..cut], &text[cut..]));
+                }
+            }
+        }
+        probe(&format!("count {{ x : {text}"));
+        probe(&text.replace("&&", "||").replace(">=", "="));
+    }
+    println!("parser stayed total over {attempts} mutated corpus inputs");
 }
