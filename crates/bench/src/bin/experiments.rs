@@ -2,12 +2,19 @@
 //! pipeline counters each one fired, and writes the machine-readable
 //! `BENCH_counters.json` next to the current directory.
 //!
+//! `BENCH_counters.json` is one object: a `schema` header listing every
+//! counter name once (in declaration order), then `rows` whose
+//! `counters` objects carry only the *nonzero* values — a diff of the
+//! file tracks signal, not the ~40 permanent zeros a typical experiment
+//! never touches.
+//!
 //! ```text
 //! cargo run --release -p presburger-bench --bin experiments
 //! ```
 
 use presburger_bench::all_experiments;
 use presburger_trace::json::{array, JsonObject};
+use presburger_trace::Counter;
 
 fn main() {
     println!("| Id | Experiment | Paper | Measured | Counters | ms | par_speedup | Pass |");
@@ -38,11 +45,24 @@ fn main() {
         if let Some(s) = r.par_speedup {
             obj.field_f64("par_speedup", s);
         }
-        obj.field_raw("counters", &r.counters.to_json());
+        obj.field_raw("counters", &r.counters.to_json_nonzero());
         entries.push(obj.finish());
     }
     let path = "BENCH_counters.json";
-    match std::fs::write(path, array(entries) + "\n") {
+    let mut schema = JsonObject::new();
+    schema.field_raw(
+        "counters",
+        &array(
+            Counter::ALL
+                .iter()
+                .map(|c| format!("\"{}\"", c.name()))
+                .collect::<Vec<String>>(),
+        ),
+    );
+    let mut doc = JsonObject::new();
+    doc.field_raw("schema", &schema.finish())
+        .field_raw("rows", &array(entries));
+    match std::fs::write(path, doc.finish() + "\n") {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

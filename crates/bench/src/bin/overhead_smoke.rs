@@ -78,6 +78,29 @@ fn main() {
     }
     let per_fork_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(FORK_LOOPS);
 
+    // 2c. Unit cost of a disabled request-metrics observation (what the
+    //     serve worker pays per request when telemetry histograms are
+    //     off): one relaxed atomic load, however many series exist.
+    let metrics = presburger_trace::RequestMetrics::new(false);
+    let t = Instant::now();
+    for i in 0..HOOK_LOOPS {
+        metrics.observe_request(std::hint::black_box(
+            presburger_trace::metrics::RequestObservation {
+                verb: presburger_trace::metrics::ReqVerb::Count,
+                outcome: presburger_trace::metrics::ReqOutcome::Ok,
+                duration_us: u64::from(i),
+                queue_wait_us: 1,
+                govern_overhead_us: 1,
+                splinters: Some(17),
+            },
+        ));
+    }
+    let per_obs_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
+    assert!(
+        metrics.duration_merged(None).is_empty(),
+        "a disabled registry must record nothing"
+    );
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -97,18 +120,26 @@ fn main() {
     // the full hook count is conservative.
     let gauge_overhead_ms = hooks as f64 * per_gauge_ns / 1e6;
     let fork_overhead_ms = FORKS_PER_RUN * per_fork_ns / 1e6;
+    // A request records one observation; bounding by the fork count is
+    // already 64× conservative for an E3-sized request.
+    let obs_overhead_ms = FORKS_PER_RUN * per_obs_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
     let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
+    let obs_pct = 100.0 * obs_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
     println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
     println!("disabled fork handle:    {per_fork_ns:.2} ns");
+    println!("disabled request metric: {per_obs_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
     println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
     println!(
         "fork-handle overhead:    {fork_overhead_ms:.4} ms at 64 workers ({fork_pct:.2}% of E3)"
+    );
+    println!(
+        "request-metrics overhead: {obs_overhead_ms:.4} ms at 64 observations ({obs_pct:.2}% of E3)"
     );
     if pct >= 5.0 {
         eprintln!("FAIL: disabled-collector overhead {pct:.2}% >= 5%");
@@ -122,5 +153,9 @@ fn main() {
         eprintln!("FAIL: disabled fork-handle overhead {fork_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector and disabled-governor overhead is below the 5% bound");
+    if obs_pct >= 5.0 {
+        eprintln!("FAIL: disabled request-metrics overhead {obs_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-collector, disabled-governor and disabled-telemetry overhead is below the 5% bound");
 }

@@ -29,7 +29,9 @@ use presburger_gen::{request_lines, GenConfig, GenRequest};
 use presburger_serve::server::{serve_connection, Gate, Server};
 use presburger_serve::ServeConfig;
 use presburger_trace::json::JsonObject;
+use presburger_trace::metrics::ReqVerb;
 use std::io::{Cursor, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -226,6 +228,7 @@ fn phase_shedding() {
     }
     assert_eq!(sheds, 4, "expected exactly 4 sheds from a 2-deep queue");
     assert_eq!(handle.stats().sheds(), 4);
+    PHASE2_REQUESTS.store(slots.len() as u64, Ordering::Relaxed);
     let stats = server.shutdown();
     println!("    4/6 shed as required; {stats}");
 }
@@ -287,6 +290,7 @@ fn phase_breaker_drill() {
     // And it stays closed for normal traffic.
     let line = submit_line(&handle, &format!("count p1 {{x : {CLEAN}}}"));
     assert!(line.starts_with("OK p1 exact "), "post-recovery: {line}");
+    PHASE3_REQUESTS.store(6, Ordering::Relaxed);
     let stats = server.shutdown();
     println!("    opened after 3 internal errors, recovered via probe; {stats}");
 }
@@ -368,20 +372,13 @@ fn phase_drain() {
             "hard drain lost or corrupted a response: {line}"
         );
     }
+    PHASE4_REQUESTS.store(20 + 1 + 8, Ordering::Relaxed);
     server.shutdown();
     println!("    clean drain within deadline; hard drain lost nothing");
 }
 
-fn percentile(sorted_us: &[u128], p: f64) -> u128 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
-}
-
 fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
-    println!("==> phase 5: latency ({n} sequential round-trips)");
+    println!("==> phase 5: latency ({n} sequential round-trips, histogram-derived)");
     let server = Server::start(ServeConfig {
         workers: 1,
         default_deadline_ms: None,
@@ -390,44 +387,100 @@ fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
     });
     let handle = server.handle();
     let requests = request_lines(0xBEEF, n, &GenConfig::default());
-    let mut lat_us: Vec<u128> = Vec::with_capacity(n);
     for r in &requests {
-        let started = Instant::now();
         match presburger_serve::parse_request(&r.line).unwrap() {
             presburger_serve::Request::Query(q) => {
                 handle.submit(q).wait();
             }
             _ => unreachable!(),
         }
-        lat_us.push(started.elapsed().as_micros());
     }
+    // The exposition the `metrics` verb serves must be well-formed under
+    // this live load (full format pinning lives in the golden test).
+    let exposition = handle.metrics_text();
+    assert!(
+        exposition.contains("presburger_requests_total{")
+            && exposition.contains("# TYPE presburger_request_duration_us histogram")
+            && exposition.ends_with("# EOF"),
+        "metrics exposition smoke failed:\n{exposition}"
+    );
     server.shutdown();
-    lat_us.sort_unstable();
-    let p50 = percentile(&lat_us, 0.50);
-    let p99 = percentile(&lat_us, 0.99);
+
+    // All percentiles come from the request-telemetry histograms: the
+    // previous sorted-60-sample math had unbounded tail error, while a
+    // log bucket bounds the relative error by its width.
+    let metrics = &handle.telemetry().metrics;
+    let overall = metrics.duration_merged(None);
+    assert_eq!(
+        overall.count, n as u64,
+        "every round-trip must be observed exactly once"
+    );
+    let queue_wait = metrics.queue_wait_merged();
     let throughput = phase1_n as f64 / phase1_elapsed.as_secs_f64().max(1e-9);
-    println!("    p50={p50}us p99={p99}us throughput={throughput:.0} req/s");
+    println!(
+        "    p50={}us p90={}us p99={}us p999={}us queue_wait_p99={}us throughput={throughput:.0} req/s",
+        overall.percentile(0.50),
+        overall.percentile(0.90),
+        overall.percentile(0.99),
+        overall.percentile(0.999),
+        queue_wait.percentile(0.99),
+    );
 
     let out = std::env::var("PRESBURGER_SERVE_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_serve.json".to_string());
     if !out.is_empty() {
+        let mut by_verb = JsonObject::new();
+        let mut queue_by_verb = JsonObject::new();
+        let mut overhead_by_verb = JsonObject::new();
+        let mut splinters_by_verb = JsonObject::new();
+        for v in ReqVerb::ALL {
+            by_verb.field_raw(v.label(), &metrics.duration_merged(Some(v)).to_json());
+            queue_by_verb.field_raw(v.label(), &metrics.queue_wait(v).to_json());
+            overhead_by_verb.field_raw(v.label(), &metrics.govern_overhead(v).to_json());
+            splinters_by_verb.field_raw(v.label(), &metrics.splinters(v).to_json());
+        }
+        let mut phases = JsonObject::new();
+        phases
+            .field_u64("replay", PHASE1_REQUESTS.load(Ordering::Relaxed))
+            .field_u64("shedding", PHASE2_REQUESTS.load(Ordering::Relaxed))
+            .field_u64("breaker", PHASE3_REQUESTS.load(Ordering::Relaxed))
+            .field_u64("drain", PHASE4_REQUESTS.load(Ordering::Relaxed))
+            .field_u64("latency", n as u64);
         let mut obj = JsonObject::new();
-        obj.field_u64("requests", n as u64)
-            .field_u64("p50_us", p50 as u64)
-            .field_u64("p99_us", p99 as u64)
+        obj.field_str("schema", "serve_bench_v2")
+            .field_u64("requests", n as u64)
+            .field_u64("p50_us", overall.percentile(0.50))
+            .field_u64("p90_us", overall.percentile(0.90))
+            .field_u64("p99_us", overall.percentile(0.99))
+            .field_u64("p999_us", overall.percentile(0.999))
             .field_f64("throughput_rps", throughput)
             .field_u64("phase1_requests", phase1_n as u64)
-            .field_u64("phase1_ms", phase1_elapsed.as_millis() as u64);
+            .field_u64("phase1_ms", phase1_elapsed.as_millis() as u64)
+            .field_raw("phase_requests", &phases.finish())
+            .field_raw("latency_us", &overall.to_json())
+            .field_raw("latency_us_by_verb", &by_verb.finish())
+            .field_raw("queue_wait_us", &queue_wait.to_json())
+            .field_raw("queue_wait_us_by_verb", &queue_by_verb.finish())
+            .field_raw("govern_overhead_us_by_verb", &overhead_by_verb.finish())
+            .field_raw("splinters_by_verb", &splinters_by_verb.finish());
         if std::fs::write(&out, obj.finish() + "\n").is_ok() {
             println!("    wrote {out}");
         }
     }
 }
 
+/// Per-phase request totals, recorded for `BENCH_serve.json`'s
+/// `phase_requests` breakdown (phase 1 counts one run, not all four).
+static PHASE1_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static PHASE2_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static PHASE3_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static PHASE4_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
 fn main() {
     let n = env_usize("PRESBURGER_SERVE_REQUESTS", 200);
     let conns = env_usize("PRESBURGER_SERVE_CONNS", 4).max(1);
     let (phase1_n, phase1_elapsed) = phase_replay_determinism(n, conns);
+    PHASE1_REQUESTS.store(phase1_n as u64, Ordering::Relaxed);
     phase_shedding();
     phase_breaker_drill();
     phase_drain();

@@ -23,6 +23,12 @@
 //!   sample of hits and alarms on mismatch ([`cache::ResultCache`]).
 //! * **Graceful drain** — stop admitting, finish or cancel-and-bound
 //!   in-flight work within a drain deadline, emit a final stats line.
+//! * **Request-scoped telemetry** — per-request latency / queue-wait /
+//!   overhead / splinter histograms with Prometheus exposition (the
+//!   `metrics` verb), a slow-request flight recorder (`flightrec`),
+//!   and an opt-in JSONL event log ([`telemetry`], DESIGN.md §12).
+//!   Telemetry is observational only: responses and replay transcripts
+//!   are byte-identical with it on or off.
 //!
 //! The wire protocol is newline-delimited text over stdin/stdout
 //! ([`server::run_stdio`]) or TCP ([`server::TcpServer`]); see
@@ -38,8 +44,10 @@ pub mod breaker;
 pub mod cache;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use breaker::{Breaker, Plan};
 pub use cache::ResultCache;
 pub use protocol::{parse_request, Overrides, ProtocolError, Query, Request, ServeError, Verb};
 pub use server::{run_stdio, Gate, Handle, ServeConfig, Server, Slot, TcpServer};
+pub use telemetry::{FlightRecord, RequestTelemetry, Telemetry, TelemetrySettings};

@@ -3,7 +3,8 @@
 //! # Request grammar (one request per line)
 //!
 //! ```text
-//! request  := query | "ping" [SP id] | "stats" | "drain"
+//! request  := query | "ping" [SP id] | "stats" | "metrics" | "stats/v2"
+//!           | "flightrec" | "drain"
 //! query    := "count" SP id option* SP body
 //!           | "sum"   SP id option* SP poly SP body
 //! option   := SP key "=" value          (keys below)
@@ -33,6 +34,14 @@
 //! the exact pass (`budget`, `deadline`, …), `breaker_open` when the
 //! circuit breaker pre-degraded the request, or `cancelled` when a
 //! drain deadline bounded in-flight work.
+//!
+//! Two verbs answer with a *multi-line* block instead of a single line,
+//! each terminated by a `# EOF` line so a client knows where the block
+//! ends: `metrics` (alias `stats/v2`) returns the request-scoped
+//! telemetry registry in Prometheus text exposition format, and
+//! `flightrec` dumps the slow-request flight recorder as one JSON
+//! object per line (see `server::telemetry` and DESIGN.md §12). The
+//! legacy one-line `stats` remains unchanged.
 
 use presburger_counting::Budgets;
 use std::fmt;
@@ -142,6 +151,13 @@ pub enum Request {
     Ping(Option<String>),
     /// Current server statistics.
     Stats,
+    /// Prometheus text exposition of the request-scoped telemetry
+    /// registry (`metrics`, alias `stats/v2`). Multi-line, `# EOF`
+    /// terminated.
+    Metrics,
+    /// Dump of the slow-request flight recorder, one JSON object per
+    /// line. Multi-line, `# EOF` terminated.
+    FlightRec,
     /// Graceful drain: stop admitting, finish or bound in-flight work,
     /// emit a final stats line.
     Drain,
@@ -236,12 +252,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             return Ok(Request::Ping(id.map(str::to_string)));
         }
         "stats" => return Ok(Request::Stats),
+        "metrics" | "stats/v2" => return Ok(Request::Metrics),
+        "flightrec" => return Ok(Request::FlightRec),
         "drain" => return Ok(Request::Drain),
         "count" | "sum" => {}
         other => {
             return Err(err(
                 None,
-                format!("unknown verb {other:?} (expected count, sum, ping, stats or drain)"),
+                format!(
+                    "unknown verb {other:?} (expected count, sum, ping, stats, metrics, \
+                     flightrec or drain)"
+                ),
             ))
         }
     }
@@ -432,6 +453,9 @@ mod tests {
             Ok(Request::Ping(Some(id))) if id == "p1"
         ));
         assert!(matches!(parse_request("stats"), Ok(Request::Stats)));
+        assert!(matches!(parse_request("metrics"), Ok(Request::Metrics)));
+        assert!(matches!(parse_request("stats/v2"), Ok(Request::Metrics)));
+        assert!(matches!(parse_request("flightrec"), Ok(Request::FlightRec)));
         assert!(matches!(parse_request("drain"), Ok(Request::Drain)));
     }
 

@@ -29,12 +29,14 @@
 use crate::breaker::{Breaker, Plan};
 use crate::cache::ResultCache;
 use crate::protocol::{self, err_line, parse_request, shed_line, Query, Request, ServeError, Verb};
+use crate::telemetry::{RequestTelemetry, Telemetry, TelemetrySettings};
 use presburger_counting::{
     try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets, CountError, CountOptions,
     Governor, Outcome,
 };
 use presburger_omega::{parse_affine, parse_formula, Space};
 use presburger_polyq::QPoly;
+use presburger_trace::metrics::{ReqOutcome, ReqVerb};
 use presburger_trace::{self as trace, Counter};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -82,6 +84,10 @@ pub struct ServeConfig {
     /// to every governed request, equivalent to setting
     /// `PRESBURGER_FAULT` but scoped to this server (for tests).
     pub fault_spec: Option<String>,
+    /// Request-scoped telemetry: histograms, flight recorder, event
+    /// log (see [`crate::telemetry`]). Observational only — response
+    /// bytes are identical at any setting.
+    pub telemetry: TelemetrySettings,
     /// Test hook: when set, workers wait on this gate before popping
     /// each job, making queue-full sheds deterministic.
     pub hold: Option<Arc<Gate>>,
@@ -102,6 +108,7 @@ impl Default for ServeConfig {
             verify_every: None,
             drain_deadline_ms: 2_000,
             fault_spec: None,
+            telemetry: TelemetrySettings::default(),
             hold: None,
         }
     }
@@ -186,6 +193,8 @@ impl Slot {
 struct Job {
     query: Query,
     slot: Arc<Slot>,
+    /// Admission time, for the queue-wait histogram.
+    enqueued: Instant,
 }
 
 /// Atomic server statistics, rendered by `STATS` and the final drain
@@ -257,6 +266,7 @@ struct Inner {
     breaker: Mutex<Breaker>,
     cache: Mutex<ResultCache>,
     stats: Stats,
+    telemetry: Telemetry,
 }
 
 struct QueueState {
@@ -296,6 +306,7 @@ impl Server {
             breaker: Mutex::new(Breaker::new(cfg.breaker_failures, cfg.breaker_cooldown_ms)),
             cache: Mutex::new(ResultCache::new(cfg.cache_entries, cfg.cache_bytes)),
             stats: Stats::default(),
+            telemetry: Telemetry::new(cfg.telemetry.clone()),
             cfg,
         });
         let handles = (0..workers)
@@ -326,6 +337,9 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers are gone, so every accepted event is already in the
+        // channel; close() flushes them all to the file.
+        self.inner.telemetry.close_event_log();
         line
     }
 }
@@ -342,17 +356,20 @@ impl Handle {
         if q.draining || q.shutdown {
             inner.stats.bump(&inner.stats.shed_drain);
             trace::bump(Counter::ServeSheds);
+            inner.telemetry.metrics.observe_shed(req_verb(query.verb));
             return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "draining"));
         }
         if q.jobs.len() >= inner.cfg.queue_depth {
             inner.stats.bump(&inner.stats.shed_queue);
             trace::bump(Counter::ServeSheds);
+            inner.telemetry.metrics.observe_shed(req_verb(query.verb));
             return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "queue_full"));
         }
         let slot = Slot::new();
         q.jobs.push_back(Job {
             query,
             slot: slot.clone(),
+            enqueued: Instant::now(),
         });
         let depth = q.jobs.len() as u64;
         inner.stats.bump(&inner.stats.admitted);
@@ -464,13 +481,40 @@ impl Handle {
         &self.inner.stats
     }
 
+    /// The request-scoped telemetry hub (histograms, flight recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// The `metrics` verb's reply: Prometheus text exposition, `# EOF`
+    /// terminated.
+    pub fn metrics_text(&self) -> String {
+        self.inner.telemetry.metrics_text()
+    }
+
+    /// The `flightrec` verb's reply: one JSON object per retained slow
+    /// request, `# EOF` terminated.
+    pub fn flight_dump(&self) -> String {
+        self.inner.telemetry.flight_dump()
+    }
+
     /// Whether a drain has completed.
     pub fn is_drained(&self) -> bool {
         self.inner.drained.load(Ordering::Relaxed)
     }
 }
 
+/// Maps a protocol verb to its telemetry label.
+fn req_verb(verb: Verb) -> ReqVerb {
+    match verb {
+        Verb::Count => ReqVerb::Count,
+        Verb::Sum => ReqVerb::Sum,
+    }
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
+    inner.telemetry.worker_init();
+    let telemetry_on = inner.telemetry.active();
     loop {
         if let Some(gate) = &inner.cfg.hold {
             gate.wait();
@@ -494,22 +538,71 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         };
         inner.inflight.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = job.enqueued.elapsed();
+        let baseline = inner.telemetry.counter_baseline();
+        let started = Instant::now();
         // The outer unwind boundary: a panic anywhere in processing —
         // including inside rendering — poisons only this request.
-        let line =
+        let reply =
             catch_unwind(AssertUnwindSafe(|| process(inner, &job.query))).unwrap_or_else(|_| {
                 inner.stats.bump(&inner.stats.errors);
-                err_line(&job.query.id, "internal", "request processing panicked")
+                Reply {
+                    line: err_line(&job.query.id, "internal", "request processing panicked"),
+                    outcome: ReqOutcome::Err,
+                    engine: Duration::ZERO,
+                    formula: job.query.formula_text.clone(),
+                }
             });
+        let total = started.elapsed();
+        // Fulfil first: telemetry rides behind the response, never in
+        // front of it.
+        let line = reply.line.clone();
         job.slot.fulfil(line);
+        if telemetry_on {
+            let counters = baseline.map(|base| trace::snapshot().delta(&base));
+            let governor_tripped = counters
+                .as_ref()
+                .is_some_and(|d| d.get(Counter::GovernorTrips) > 0);
+            let spans = inner.telemetry.take_spans();
+            inner.telemetry.record(RequestTelemetry {
+                id: job.query.id.clone(),
+                verb: req_verb(job.query.verb),
+                outcome: reply.outcome,
+                queue_wait,
+                total,
+                engine: reply.engine,
+                counters,
+                governor_tripped,
+                formula: reply.formula,
+                spans,
+            });
+        }
         inner.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// Computes the response line for one query. Runs on a worker, inside
-/// its unwind boundary.
-fn process(inner: &Arc<Inner>, query: &Query) -> String {
+/// What `process` hands back to the worker loop: the wire line plus the
+/// telemetry the loop cannot reconstruct from the line alone.
+struct Reply {
+    line: String,
+    outcome: ReqOutcome,
+    /// Time inside the governed engine (zero for cache hits and parse
+    /// errors).
+    engine: Duration,
+    /// Canonically re-rendered formula (raw text when parsing failed).
+    formula: String,
+}
+
+/// Computes the response for one query. Runs on a worker, inside its
+/// unwind boundary.
+fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
     let id = &query.id;
+    let raw_err = |line: String| Reply {
+        line,
+        outcome: ReqOutcome::Err,
+        engine: Duration::ZERO,
+        formula: query.formula_text.clone(),
+    };
 
     // Parse the formula (and polynomial) into a fresh space.
     let mut space = Space::new();
@@ -520,7 +613,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
         Ok(f) => f,
         Err(e) => {
             inner.stats.bump(&inner.stats.errors);
-            return err_line(id, "parse", &e.to_string());
+            return raw_err(err_line(id, "parse", &e.to_string()));
         }
     };
     let poly = match &query.poly_text {
@@ -529,7 +622,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
             Ok(a) => QPoly::from_affine(&a),
             Err(e) => {
                 inner.stats.bump(&inner.stats.errors);
-                return err_line(id, "parse", &format!("in polynomial: {e}"));
+                return raw_err(err_line(id, "parse", &format!("in polynomial: {e}")));
             }
         },
     };
@@ -549,8 +642,9 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
         Verb::Count => "count",
         Verb::Sum => "sum",
     };
+    let formula_text = formula.to_string(&space);
     let cache_key = format!(
-        "{verb}|{}|{}|{}|{}",
+        "{verb}|{}|{}|{}|{formula_text}",
         query.vars.join(","),
         query.overrides.cache_key_part(),
         query
@@ -558,7 +652,6 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
             .as_deref()
             .map(|_| poly.to_string(&space))
             .unwrap_or_default(),
-        formula.to_string(&space),
     );
 
     if let Some((payload, ordinal)) = inner
@@ -572,10 +665,17 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
         let verify = matches!(inner.cfg.verify_every, Some(n) if n > 0 && ordinal % n == 0);
         if !verify {
             inner.stats.bump(&inner.stats.ok);
-            return format!("OK {id} {payload}");
+            return Reply {
+                line: format!("OK {id} {payload}"),
+                outcome: ReqOutcome::CacheHit,
+                engine: Duration::ZERO,
+                formula: formula_text,
+            };
         }
         // Verify mode: recompute this hit and alarm on mismatch.
+        let engine_start = Instant::now();
         let (fresh, _) = compute(inner, query, &space, &formula, &vars, &poly);
+        let engine = engine_start.elapsed();
         if fresh != payload {
             inner.stats.bump(&inner.stats.verify_mismatches);
             eprintln!(
@@ -588,13 +688,20 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
                 .put(&cache_key, &fresh);
         }
         inner.stats.bump(&inner.stats.ok);
-        return format!("OK {id} {fresh}");
+        return Reply {
+            line: format!("OK {id} {fresh}"),
+            outcome: ReqOutcome::CacheHit,
+            engine,
+            formula: formula_text,
+        };
     }
     inner.stats.bump(&inner.stats.cache_misses);
     trace::bump(Counter::ServeCacheMisses);
 
+    let engine_start = Instant::now();
     let (payload, outcome) = compute(inner, query, &space, &formula, &vars, &poly);
-    match outcome {
+    let engine = engine_start.elapsed();
+    let (line, outcome) = match outcome {
         ComputeOutcome::Exact => {
             inner
                 .cache
@@ -602,16 +709,22 @@ fn process(inner: &Arc<Inner>, query: &Query) -> String {
                 .expect("invariant: cache lock unpoisoned")
                 .put(&cache_key, &payload);
             inner.stats.bump(&inner.stats.ok);
-            format!("OK {id} {payload}")
+            (format!("OK {id} {payload}"), ReqOutcome::Ok)
         }
         ComputeOutcome::Bounded => {
             inner.stats.bump(&inner.stats.ok);
-            format!("OK {id} {payload}")
+            (format!("OK {id} {payload}"), ReqOutcome::Bounded)
         }
         ComputeOutcome::Error => {
             inner.stats.bump(&inner.stats.errors);
-            payload
+            (payload, ReqOutcome::Err)
         }
+    };
+    Reply {
+        line,
+        outcome,
+        engine,
+        formula: formula_text,
     }
 }
 
@@ -828,6 +941,8 @@ pub fn serve_connection(
                 None => "PONG".to_string(),
             }),
             Ok(Request::Stats) => Slot::ready(handle.stats_line()),
+            Ok(Request::Metrics) => Slot::ready(handle.metrics_text()),
+            Ok(Request::FlightRec) => Slot::ready(handle.flight_dump()),
             Ok(Request::Drain) => {
                 saw_drain = true;
                 let stats = handle.drain();

@@ -110,7 +110,7 @@ OK c4 exact (\u{3a3} : n - 1 >= 0 : n)\n\
 OK c5 exact 9\n\
 OK c6 bounded budget 25 ; 25\n\
 ERR c7 unbounded summation variable x is unbounded\n\
-ERR - protocol unknown verb \"zap\" (expected count, sum, ping, stats or drain)\n\
+ERR - protocol unknown verb \"zap\" (expected count, sum, ping, stats, metrics, flightrec or drain)\n\
 ERR c9 parse parse error at line 1, column 6: expected a term\n\
 ERR - protocol missing request id\n\
 STATS admitted=8 ok=6 errors=2 shed_queue=0 shed_drain=0 cache_hits=1 cache_misses=6 cache_entries=4 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\

@@ -300,6 +300,18 @@ impl PipelineStats {
         }
         obj.finish()
     }
+
+    /// Only the nonzero counters as one JSON object (in declaration
+    /// order). Row-oriented reports pair this with a schema header
+    /// listing [`Counter::ALL`], so diffs track signal, not permanent
+    /// zeros.
+    pub fn to_json_nonzero(&self) -> String {
+        let mut obj = JsonObject::new();
+        for (c, v) in self.nonzero() {
+            obj.field_u64(c.name(), v);
+        }
+        obj.finish()
+    }
 }
 
 impl fmt::Display for PipelineStats {

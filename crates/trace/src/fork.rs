@@ -179,6 +179,63 @@ mod tests {
     }
 
     #[test]
+    fn nested_fork_scopes_merge_gauges_max_of_max() {
+        // Three levels: parent → mid worker → leaf worker. Each level
+        // raises the same gauge to a different value and bumps the same
+        // running count. After both merges the count is the sum across
+        // all levels while the gauge is the max over every level's
+        // high-water mark (max-of-max) — merging must not add gauges and
+        // must not let an inner merge mask an outer maximum.
+        crate::enable_counters(true);
+        crate::reset();
+        crate::bump(Counter::GistCalls);
+        crate::record_max(Counter::MaxCoeffBits, 64);
+        crate::record_max(Counter::SumDepth, 9);
+        let scope = fork_scope();
+        let part = std::thread::scope(|s| {
+            s.spawn(move || {
+                let h = scope.begin();
+                crate::bump(Counter::GistCalls);
+                crate::record_max(Counter::MaxCoeffBits, 32); // below the leaf's
+                crate::record_max(Counter::SumDepth, 2);
+                let inner_scope = fork_scope();
+                let inner = std::thread::scope(|s2| {
+                    s2.spawn(move || {
+                        let h2 = inner_scope.begin();
+                        crate::bump(Counter::GistCalls);
+                        crate::record_max(Counter::MaxCoeffBits, 200); // global max
+                        crate::record_max(Counter::SumDepth, 5);
+                        h2.finish()
+                    })
+                    .join()
+                    .unwrap()
+                });
+                // The mid worker folds the leaf's part into its own
+                // session before finishing, exactly like the clause
+                // pipeline does.
+                merge_fork_part(inner);
+                h.finish()
+            })
+            .join()
+            .unwrap()
+        });
+        merge_fork_part(part);
+        let stats = crate::snapshot();
+        assert_eq!(stats.get(Counter::GistCalls), 3, "counts add across levels");
+        assert_eq!(
+            stats.get(Counter::MaxCoeffBits),
+            200,
+            "gauge is max-of-max: the leaf's 200 must survive two merges"
+        );
+        assert_eq!(
+            stats.get(Counter::SumDepth),
+            9,
+            "gauge is max-of-max: the parent's own 9 must not be lowered"
+        );
+        crate::enable_counters(false);
+    }
+
+    #[test]
     fn disabled_fork_is_inert() {
         crate::enable_counters(false);
         crate::enable_tracing(false);

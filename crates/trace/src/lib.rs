@@ -13,6 +13,10 @@
 //!   an indented tree or hand-rolled JSON (no serde).
 //! - [`explain`][span::explain]: human-readable derivation steps
 //!   attached to the innermost open span.
+//! - [`metrics`]: process-wide serving metrics — lock-free log-bucketed
+//!   histograms and `{verb, outcome}` counter families with Prometheus
+//!   text exposition (the dual of the thread-local counters, for the
+//!   many-threaded request path).
 //!
 //! Everything is per-thread: enabling collection on one thread does not
 //! observe or perturb work on another. Worker threads hand their
@@ -39,10 +43,12 @@ pub mod counters;
 pub mod fork;
 pub mod govern;
 pub mod json;
+pub mod metrics;
 pub mod span;
 
 pub use counters::{Counter, PipelineStats};
 pub use fork::{fork_scope, merge_fork_part, ForkHandle, ForkPart, ForkScope};
+pub use metrics::{Histogram, HistogramSnapshot, ReqOutcome, ReqVerb, RequestMetrics};
 pub use span::{explain, span, span_dyn, SpanGuard, SpanTree};
 
 use std::cell::Cell;

@@ -26,6 +26,10 @@
 //! * `--degrade=bounds|error` — what a governed query does when it
 //!   exhausts a budget: degrade to the paper's §4.6 lower/upper bounds
 //!   (the default) or fail with the budget error;
+//! * `--metrics` — after all queries, print the request-telemetry
+//!   registry (latency / splinter histograms, outcome counters) in
+//!   Prometheus text format — the same exposition a `--serve` server
+//!   answers the `metrics` verb with;
 //! * `--serve` — instead of answering queries from the command line,
 //!   run the hardened serving loop over stdin/stdout: one request per
 //!   line (`count <id> {vars : formula}`, `ping`, `stats`, `drain`),
@@ -36,14 +40,16 @@
 use presburger::prelude::*;
 use presburger::serve::ServeConfig;
 use presburger::trace::json::JsonObject;
+use presburger::trace::metrics::{ReqOutcome, ReqVerb, RequestMetrics, RequestObservation};
 use presburger_counting::try_count_solutions;
 use presburger_omega::parse_formula;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Options {
     stats: bool,
     trace: bool,
     json: bool,
+    metrics: bool,
     serve: bool,
     threads: usize,
     timeout_ms: Option<u64>,
@@ -80,7 +86,8 @@ impl Options {
     }
 }
 
-fn run_query(query: &str, opts: &Options) -> Result<(), QueryError> {
+/// Runs one query; the returned outcome class feeds `--metrics`.
+fn run_query(query: &str, opts: &Options) -> Result<ReqOutcome, QueryError> {
     let query = query.trim();
     let rest = query
         .strip_prefix("count")
@@ -116,6 +123,7 @@ fn run_query(query: &str, opts: &Options) -> Result<(), QueryError> {
         ..CountOptions::default()
     };
     println!("> {query}");
+    let mut outcome = ReqOutcome::Ok;
     let fmt = |c: Option<i64>| c.map_or_else(|| "?".to_string(), |c| c.to_string());
     if opts.governed() {
         let gov = Governor::new(Budgets {
@@ -140,6 +148,7 @@ fn run_query(query: &str, opts: &Options) -> Result<(), QueryError> {
                 why,
                 clauses,
             } => {
+                outcome = ReqOutcome::Bounded;
                 let degraded = clauses
                     .iter()
                     .filter(|c| !matches!(c, ClauseStatus::Exact))
@@ -185,7 +194,7 @@ fn run_query(query: &str, opts: &Options) -> Result<(), QueryError> {
         }
     }
     println!();
-    Ok(())
+    Ok(outcome)
 }
 
 /// Renders one sample row given the symbol bindings for that row.
@@ -216,6 +225,7 @@ fn main() {
         stats: false,
         trace: false,
         json: false,
+        metrics: false,
         serve: false,
         threads: CountOptions::default().threads,
         timeout_ms: None,
@@ -229,6 +239,7 @@ fn main() {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
             "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
             "--serve" => opts.serve = true,
             "--threads" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => opts.threads = n,
@@ -261,7 +272,9 @@ fn main() {
     if opts.trace {
         opts.stats = true;
     }
-    presburger::enable_stats(opts.stats);
+    // --metrics needs counters on for splinter attribution, but does
+    // not print them per query the way --stats does.
+    presburger::enable_stats(opts.stats || opts.metrics);
     presburger::trace::enable_tracing(opts.trace);
 
     if opts.serve {
@@ -300,9 +313,26 @@ fn main() {
     } else {
         vec![rest.join(" ")]
     };
+    let metrics = RequestMetrics::new(opts.metrics);
     let mut failed = false;
     for q in &queries {
-        if let Err(e) = run_query(q, &opts) {
+        let started = Instant::now();
+        let result = run_query(q, &opts);
+        let outcome = match &result {
+            Ok(outcome) => *outcome,
+            Err(_) => ReqOutcome::Err,
+        };
+        metrics.observe_request(RequestObservation {
+            verb: ReqVerb::Count,
+            outcome,
+            duration_us: started.elapsed().as_micros() as u64,
+            queue_wait_us: 0,
+            govern_overhead_us: 0,
+            splinters: opts
+                .metrics
+                .then(|| presburger::stats().get(presburger::trace::Counter::SplintersGenerated)),
+        });
+        if let Err(e) = result {
             if opts.json {
                 let mut inner = JsonObject::new();
                 inner.field_str("kind", e.kind);
@@ -314,6 +344,11 @@ fn main() {
             eprintln!("error in {q:?}: {} ({})", e.detail, e.kind);
             failed = true;
         }
+    }
+    if opts.metrics {
+        println!("--- metrics ---");
+        print!("{}", metrics.render_prometheus());
+        println!("# EOF");
     }
     if failed {
         std::process::exit(1);

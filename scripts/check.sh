@@ -101,7 +101,23 @@ echo "    PRESBURGER_FAULT=splinters_generated:1:panic (panic isolation under lo
 PRESBURGER_FAULT=splinters_generated:1:panic PRESBURGER_SERVE_BENCH_OUT="" \
     cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 
-echo "==> trace overhead smoke (disabled collector & governor < 5% of E3)"
+echo "==> metrics gate (exposition golden, flight-recorder drill, event log)"
+# The telemetry layer's own gate (DESIGN.md §12):
+#   1. the full metrics test suite, including the golden Prometheus
+#      exposition (stable label ordering, all cumulative bucket lines,
+#      pinned in crates/serve/tests/golden/metrics.prom) and the JSONL
+#      event-log sampling/backpressure behavior;
+#   2. the flight-recorder drill re-run with PRESBURGER_FAULT armed
+#      process-wide — the governor trip induced by the env fault must
+#      land the splintery request in the flight recorder with its
+#      counter deltas, span tree, and formula intact.
+echo "    metrics test suite (golden exposition + event log)"
+cargo test --release -q -p presburger-serve --test metrics > /dev/null
+echo "    PRESBURGER_FAULT=splinters_generated:1 (flight recorder captures the faulted request)"
+PRESBURGER_FAULT=splinters_generated:1 cargo test --release -q -p presburger-serve \
+    --test metrics flight_recorder_captures_faulted_request > /dev/null
+
+echo "==> trace overhead smoke (disabled collector, governor & telemetry < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 
 echo "All checks passed."

@@ -13,9 +13,12 @@
 //! * [`gen`] — generative differential testing: random-formula
 //!   generation, multi-oracle cross-checks, shrinking, seed corpus;
 //! * [`trace`] — zero-dependency observability: pipeline counters,
-//!   timing spans, and human-readable `explain` derivations;
+//!   timing spans, human-readable `explain` derivations, and
+//!   request-scoped metrics (log-bucketed histograms with Prometheus
+//!   text exposition);
 //! * [`serve`] — a hardened request-serving layer: admission control,
-//!   load shedding, circuit breaking, result caching, graceful drain.
+//!   load shedding, circuit breaking, result caching, graceful drain,
+//!   and per-request telemetry with a slow-request flight recorder.
 //!
 //! # Quickstart
 //!
