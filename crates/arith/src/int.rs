@@ -262,6 +262,39 @@ impl Int {
         }
     }
 
+    /// Appends a canonical, self-delimiting byte encoding of the value
+    /// to `out`, for use in memo-table and cache keys.
+    ///
+    /// The encoding is injective: structurally equal values (and only
+    /// those) produce equal bytes, at any point in any process — it
+    /// depends on nothing but the numeric value. Small magnitudes use
+    /// compact tiers (most constraint coefficients fit in one byte).
+    pub fn push_key_bytes(&self, out: &mut Vec<u8>) {
+        match &self.0 {
+            Repr::Small(v) => {
+                if let Ok(b) = i8::try_from(*v) {
+                    out.push(1);
+                    out.push(b as u8);
+                } else if let Ok(w) = i32::try_from(*v) {
+                    out.push(2);
+                    out.extend_from_slice(&w.to_le_bytes());
+                } else {
+                    out.push(3);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Repr::Big { negative, limbs } => {
+                // Canonical form: Big iff out of i128 range, no trailing
+                // zero limb — so the limb vector is unique per value.
+                out.push(if *negative { 5 } else { 4 });
+                out.extend_from_slice(&(limbs.len() as u32).to_le_bytes());
+                for l in limbs {
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+            }
+        }
+    }
+
     fn sign_limbs(&self) -> (bool, Vec<u64>) {
         match &self.0 {
             Repr::Small(v) => (*v < 0, to_limbs(*v)),
@@ -870,7 +903,33 @@ mod tests {
         assert!((x - 1.2676506002282294e30).abs() / x < 1e-12);
     }
 
+    #[test]
+    fn key_bytes_tiers() {
+        let enc = |v: &Int| {
+            let mut b = Vec::new();
+            v.push_key_bytes(&mut b);
+            b
+        };
+        assert_eq!(enc(&Int::from(0)).len(), 2, "i8 tier");
+        assert_eq!(enc(&Int::from(-128)).len(), 2);
+        assert_eq!(enc(&Int::from(128)).len(), 5, "i32 tier");
+        assert_eq!(enc(&Int::from(1i64 << 40)).len(), 17, "i128 tier");
+        assert!(enc(&big("170141183460469231731687303715884105728")).len() > 17);
+    }
+
     proptest! {
+        #[test]
+        fn key_bytes_injective(a in any::<i64>(), b in any::<i64>(), p in 0u32..5) {
+            // Mix in big values via pow to cross the representation tiers.
+            let x = Int::from(a).pow(p.max(1));
+            let y = Int::from(b).pow(p.max(1));
+            let mut bx = Vec::new();
+            let mut by = Vec::new();
+            x.push_key_bytes(&mut bx);
+            y.push_key_bytes(&mut by);
+            prop_assert_eq!(bx == by, x == y, "equal bytes iff equal values");
+        }
+
         #[test]
         fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
             let r = Int::from(a) + Int::from(b);

@@ -36,11 +36,13 @@
 mod int;
 mod matrix;
 mod rat;
+pub mod row;
 pub mod smith;
 
 pub use int::Int;
 pub use matrix::Matrix;
 pub use rat::Rat;
+pub use row::Row;
 
 /// Greatest common divisor of two [`Int`]s; always non-negative.
 ///

@@ -101,6 +101,22 @@ fn main() {
         "a disabled registry must record nothing"
     );
 
+    // 2d. Unit cost of the memo stand-down guard: with the memo off
+    //     (`CountOptions.memo = false` / `PRESBURGER_MEMO=0`), every
+    //     memoizable call site (eliminate, Smith, Faulhaber) evaluates
+    //     `memo::active()` and nothing else — no key is built. No memo
+    //     scope is installed on this thread, so this loop measures
+    //     exactly that disabled path.
+    assert!(
+        !trace::memo::active(),
+        "overhead loop must measure the disabled path"
+    );
+    let t = Instant::now();
+    for _ in 0..HOOK_LOOPS {
+        std::hint::black_box(trace::memo::active());
+    }
+    let per_memo_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -123,15 +139,20 @@ fn main() {
     // A request records one observation; bounding by the fork count is
     // already 64× conservative for an E3-sized request.
     let obs_overhead_ms = FORKS_PER_RUN * per_obs_ns / 1e6;
+    // Every memoizable call site bumps at least one counter, so the
+    // hook count bounds the number of memo guards per run.
+    let memo_overhead_ms = hooks as f64 * per_memo_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
     let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
     let obs_pct = 100.0 * obs_overhead_ms / median_ms;
+    let memo_pct = 100.0 * memo_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
     println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
     println!("disabled fork handle:    {per_fork_ns:.2} ns");
     println!("disabled request metric: {per_obs_ns:.2} ns");
+    println!("disabled memo guard:     {per_memo_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
     println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
@@ -157,5 +178,10 @@ fn main() {
         eprintln!("FAIL: disabled request-metrics overhead {obs_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector, disabled-governor and disabled-telemetry overhead is below the 5% bound");
+    println!("memo-guard overhead:     {memo_overhead_ms:.4} ms ({memo_pct:.2}% of E3)");
+    if memo_pct >= 5.0 {
+        eprintln!("FAIL: disabled memo-guard overhead {memo_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-collector, disabled-governor, disabled-telemetry and disabled-memo overhead is below the 5% bound");
 }

@@ -37,6 +37,12 @@ pub struct Report {
     /// Wall-clock speedup of the clause pipeline at 4 worker threads
     /// over 1, measured by the stress experiments (`None` elsewhere).
     pub par_speedup: Option<f64>,
+    /// Memo-table hit rate over the S3 zipf request stream
+    /// (`hits / (hits + misses)`, `None` elsewhere).
+    pub memo_hit_rate: Option<f64>,
+    /// Wall-clock speedup of the S3 zipf request stream with the memo
+    /// on over the same stream with it off (`None` elsewhere).
+    pub memo_speedup: Option<f64>,
 }
 
 impl Report {
@@ -56,6 +62,8 @@ impl Report {
             wall: Duration::ZERO,
             counters: PipelineStats::default(),
             par_speedup: None,
+            memo_hit_rate: None,
+            memo_speedup: None,
         }
     }
 
@@ -100,7 +108,7 @@ impl Report {
 /// Runs every experiment, in DESIGN.md order, with pipeline counters
 /// collected per experiment.
 pub fn all_experiments() -> Vec<Report> {
-    let fns: [fn() -> Report; 20] = [
+    let fns: [fn() -> Report; 21] = [
         e1_simple_sums,
         e2_intro_naive,
         e3_simplification,
@@ -121,6 +129,7 @@ pub fn all_experiments() -> Vec<Report> {
         a6_adaptive_bounds,
         s1_manyclause_determinism,
         s2_manyclause_speedup,
+        s3_memo_zipf,
     ];
     fns.iter().map(|f| run_instrumented(*f)).collect()
 }
@@ -991,7 +1000,10 @@ pub fn s1_manyclause_determinism() -> Report {
         let (r4, c4) = meter(4);
         let identical = r1.to_display_string() == r2.to_display_string()
             && r1.to_display_string() == r4.to_display_string();
-        let counters_match = c1 == c2 && c1 == c4;
+        // Memo hit/miss patterns legitimately vary with table warmth
+        // and thread partitioning; every replayed counter must not.
+        let counters_match = c1.without_memo_meta() == c2.without_memo_meta()
+            && c1.without_memo_meta() == c4.without_memo_meta();
         // the union of the k shifted intervals sweeps [1, n+k−1]
         let values_ok = (0i64..=9).all(|nv| {
             let expect = if nv >= 1 { nv + k as i64 - 1 } else { 0 };
@@ -1063,6 +1075,97 @@ pub fn s2_manyclause_speedup() -> Report {
         identical,
     );
     r.par_speedup = Some(speedup);
+    r
+}
+
+/// S3: cross-request memoization under a zipf-skewed request mix.
+///
+/// A serving process sees the same few queries over and over (a few hot
+/// formulas, a long tail); this experiment replays that shape against
+/// the sub-problem memo. A fixed-seed stream of requests is drawn
+/// zipf-style over a pool of distinct splinter-heavy queries, then run
+/// twice from a cold table: once with the memo off, once with it on.
+/// The pass criterion is transparency (byte-identical rendered answers,
+/// with at least one hit); the hit rate and the wall-clock speedup land
+/// in `memo_hit_rate` / `memo_speedup` in `BENCH_counters.json`, where
+/// `scripts/check.sh`'s memo gate enforces them.
+pub fn s3_memo_zipf() -> Report {
+    const POOL: usize = 16;
+    const REQUESTS: usize = 120;
+    // The query pool: each entry owns its space, mirroring independent
+    // requests — nothing is shared except what the memo deduplicates.
+    let mut pool: Vec<(Space, Formula, Vec<VarId>)> = Vec::new();
+    for k in 3..=10 {
+        let mut s = Space::new();
+        let (f, vars) = stress_residue_stencil(&mut s, k);
+        pool.push((s, f, vars));
+    }
+    for k in [6usize, 8, 10, 12, 14, 16, 18, 20] {
+        let mut s = Space::new();
+        let (f, vars) = stress_stencil_union(&mut s, k);
+        pool.push((s, f, vars));
+    }
+    assert_eq!(pool.len(), POOL);
+    // Zipf(1.0): request rank i is drawn with probability ∝ 1/(i+1),
+    // sampled with a fixed-seed LCG so the stream is reproducible.
+    let weights: Vec<f64> = (0..POOL).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut state: u64 = 0x243F_6A88_85A3_08D3;
+    let stream: Vec<usize> = (0..REQUESTS)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let mut acc = 0.0;
+            for (i, w) in weights.iter().enumerate() {
+                acc += w;
+                if u < acc {
+                    return i;
+                }
+            }
+            POOL - 1
+        })
+        .collect();
+    let run_stream = |memo: bool| -> (Vec<String>, Duration, PipelineStats) {
+        trace::memo::clear_local();
+        trace::memo::clear_shared();
+        let before = trace::snapshot();
+        let t = Instant::now();
+        let answers: Vec<String> = stream
+            .iter()
+            .map(|&q| {
+                let (s, f, vars) = &pool[q];
+                let opts = CountOptions {
+                    memo,
+                    ..CountOptions::default()
+                };
+                try_count_solutions(s, f, vars, &opts)
+                    .expect("zipf request failed")
+                    .to_display_string()
+            })
+            .collect();
+        (answers, t.elapsed(), trace::snapshot().delta(&before))
+    };
+    let (off_answers, t_off, _) = run_stream(false);
+    let (on_answers, t_on, on_stats) = run_stream(true);
+    let identical = off_answers == on_answers;
+    let hits = on_stats.get(Counter::MemoHit);
+    let misses = on_stats.get(Counter::MemoMiss);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-9);
+    let mut r = Report::new(
+        "S3",
+        "stress: zipf request mix, memo-on vs memo-off",
+        "skewed request mixes repeat sub-problems; memoization shortcuts them without changing any answer",
+        format!(
+            "identical answers across {REQUESTS} zipf requests over {POOL} distinct queries, \
+             memo-on vs memo-off: {identical} (hit rate and speedup in BENCH_counters.json)"
+        ),
+        identical && hits > 0,
+    );
+    r.memo_hit_rate = Some(hit_rate);
+    r.memo_speedup = Some(speedup);
     r
 }
 

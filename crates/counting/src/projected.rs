@@ -202,6 +202,9 @@ fn sum_clause_inner(
 
     // determine ẑ coordinates: ẑᵢ = hᵢ/dᵢ for i < rank, fresh free
     // parameters for i ≥ rank; rows past the rank require hᵢ = 0.
+    // `Determined` carries an inline-storage `Affine` (272 bytes); the
+    // vector is short-lived and per-conjunct, so no boxing.
+    #[allow(clippy::large_enum_variant)]
     #[derive(Clone)]
     enum Coord {
         Determined { num: Affine, den: Int },

@@ -1,15 +1,17 @@
 //! Affine (linear-plus-constant) integer expressions.
 
 use crate::space::{Space, VarId};
-use presburger_arith::{gcd, Int};
-use std::collections::BTreeMap;
+use presburger_arith::{gcd, Int, Row};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// An affine expression `Σ cᵢ·xᵢ + c` with integer coefficients.
 ///
 /// Zero coefficients are never stored, so structural equality coincides
-/// with syntactic equality of the normal form.
+/// with syntactic equality of the normal form. Coefficients live in an
+/// [`arith::Row`](presburger_arith::Row): expressions with at most four
+/// variables — the common case — carry their terms inline with no heap
+/// spine, mirroring the [`Int`] small-value fast path.
 ///
 /// ```
 /// use presburger_omega::{Affine, Space};
@@ -22,7 +24,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Affine {
-    terms: BTreeMap<VarId, Int>,
+    terms: Row<VarId>,
     constant: Int,
 }
 
@@ -35,7 +37,7 @@ impl Affine {
     /// A constant expression.
     pub fn constant(c: impl Into<Int>) -> Affine {
         Affine {
-            terms: BTreeMap::new(),
+            terms: Row::new(),
             constant: c.into(),
         }
     }
@@ -48,7 +50,7 @@ impl Affine {
     /// The expression `c·v`.
     pub fn term(v: VarId, c: impl Into<Int>) -> Affine {
         let c = c.into();
-        let mut terms = BTreeMap::new();
+        let mut terms = Row::new();
         if !c.is_zero() {
             terms.insert(v, c);
         }
@@ -193,6 +195,21 @@ impl Affine {
             acc += &(c * &assign(*v));
         }
         acc
+    }
+
+    /// Appends a canonical byte encoding of the expression to `out`,
+    /// for memo-table and cache keys: term count, then `(VarId, coeff)`
+    /// pairs in ascending variable order, then the constant. Injective
+    /// over expressions in the same space — equal bytes iff structurally
+    /// equal — and stable across threads and processes (raw `VarId`
+    /// indices, never arena-local handles).
+    pub fn push_key_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.terms.len() as u32).to_le_bytes());
+        for (v, c) in self.terms.iter() {
+            out.extend_from_slice(&(v.index() as u32).to_le_bytes());
+            c.push_key_bytes(out);
+        }
+        self.constant.push_key_bytes(out);
     }
 
     /// Renders the expression with variable names from `space`.

@@ -47,6 +47,11 @@ impl Constraint {
 /// ]);
 /// assert!(f.eval_quantifier_free(&|_| presburger_arith::Int::from(4)));
 /// ```
+// `Atom` is large because `Affine` stores up to four coefficients
+// inline (`arith::Row`) instead of behind a heap pointer — the
+// dominant constraint shape pays zero indirection on every walk and
+// key encoding. Boxing the atom would undo exactly that trade.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Formula {
     /// The true formula.

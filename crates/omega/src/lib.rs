@@ -53,6 +53,7 @@ pub mod eqelim;
 pub mod feasible;
 mod formula;
 pub mod hull;
+pub mod intern;
 mod parse;
 pub mod redundant;
 mod space;

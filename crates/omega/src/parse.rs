@@ -149,10 +149,12 @@ pub fn parse_affine(input: &str, space: &mut Space) -> Result<Affine, ParseFormu
 /// `unary` (negation, quantifiers, parentheses) and `term` (unary
 /// minus, parenthesized expressions); without a cap, adversarial input
 /// like `((((…` or `-----…x` overflows the stack instead of returning
-/// an error. 200 levels is far beyond any legitimate formula while
+/// an error. 96 levels is far beyond any legitimate formula while
 /// keeping worst-case stack use well under the default 2 MiB of a
-/// spawned thread.
-const MAX_DEPTH: usize = 200;
+/// spawned thread — each grammar level holds several `Formula` /
+/// `Affine` temporaries, which carry their terms inline (~240 bytes
+/// each) since the `arith::Row` small-row representation.
+const MAX_DEPTH: usize = 96;
 
 struct Parser<'a> {
     input: &'a [u8],

@@ -10,6 +10,10 @@ use presburger_arith::Int;
 use presburger_omega::{Affine, Space, VarId};
 
 /// A quasi-polynomial indeterminate.
+// `Mod` is large because `Affine` keeps up to four coefficients inline
+// (`arith::Row`); boxing it would put an indirection back on every
+// evaluation and comparison of the common periodic-term case.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Atom {
     /// An interned variable (symbolic constant or summation variable).

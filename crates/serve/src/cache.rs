@@ -1,10 +1,17 @@
-//! A bounded result cache keyed by canonical request text.
+//! A bounded result cache keyed by canonical interned bytes.
 //!
-//! Keys are *canonical*: the formula is re-rendered from its parsed
-//! form (`Formula::to_string(&space)`), so textual variants of the same
-//! query (`x<=3&&x>=0` vs `0 <= x <= 3`) share an entry, while budget
-//! overrides are part of the key — a request with a tight splinter cap
-//! may legitimately get a different (bounded) answer than an
+//! Keys are *canonical byte encodings*, not request text: the server
+//! builds them from the parsed formula's interning key
+//! (`presburger_omega::intern::formula_push_key_bytes`), the counted
+//! variable indices, the free-symbol name table, and the budget
+//! overrides. Textual variants of the same query (`x<=3&&x>=0` vs
+//! `0 <= x <= 3`) share an entry, and so do *alpha-equivalent* queries
+//! whose counted variables are merely renamed (`{x : 1 <= x <= 9}` vs
+//! `{y : 1 <= y <= 9}`) — counted-variable names never appear in a
+//! response payload, so they are excluded from the key. Free-symbol
+//! names *do* appear in symbolic answers and stay in the key. Budget
+//! overrides are part of the key too — a request with a tight splinter
+//! cap may legitimately get a different (bounded) answer than an
 //! unconstrained one, and transcript replay must stay byte-exact.
 //!
 //! Eviction is least-recently-used under two independent limits: entry
@@ -24,7 +31,7 @@ struct Entry {
 
 /// A bounded LRU map from canonical query keys to response payloads.
 pub struct ResultCache {
-    entries: HashMap<String, Entry>,
+    entries: HashMap<Vec<u8>, Entry>,
     max_entries: usize,
     max_bytes: usize,
     bytes: usize,
@@ -49,7 +56,7 @@ impl ResultCache {
     /// Looks up `key`, refreshing its LRU stamp on a hit. Returns the
     /// payload and the running hit ordinal (1-based, for verify-mode
     /// sampling).
-    pub fn get(&mut self, key: &str) -> Option<(String, u64)> {
+    pub fn get(&mut self, key: &[u8]) -> Option<(String, u64)> {
         self.clock += 1;
         let clock = self.clock;
         let e = self.entries.get_mut(key)?;
@@ -61,7 +68,7 @@ impl ResultCache {
     /// Inserts (or replaces) `key → payload`, evicting least-recently
     /// used entries until both bounds hold. A payload too large to ever
     /// fit is ignored.
-    pub fn put(&mut self, key: &str, payload: &str) {
+    pub fn put(&mut self, key: &[u8], payload: &str) {
         let size = key.len() + payload.len();
         if self.max_entries == 0 || size > self.max_bytes {
             return;
@@ -89,7 +96,7 @@ impl ResultCache {
         }
         self.bytes += size;
         self.entries.insert(
-            key.to_string(),
+            key.to_vec(),
             Entry {
                 stamp: self.clock,
                 payload: payload.to_string(),
@@ -120,55 +127,67 @@ mod tests {
     #[test]
     fn hit_after_put() {
         let mut c = ResultCache::new(4, 1024);
-        assert!(c.get("k").is_none());
-        c.put("k", "exact 7");
-        let (payload, ordinal) = c.get("k").unwrap();
+        assert!(c.get(b"k").is_none());
+        c.put(b"k", "exact 7");
+        let (payload, ordinal) = c.get(b"k").unwrap();
         assert_eq!(payload, "exact 7");
         assert_eq!(ordinal, 1);
-        assert_eq!(c.get("k").unwrap().1, 2);
+        assert_eq!(c.get(b"k").unwrap().1, 2);
     }
 
     #[test]
     fn evicts_least_recently_used_on_entry_bound() {
         let mut c = ResultCache::new(2, 1024);
-        c.put("a", "1");
-        c.put("b", "2");
-        c.get("a"); // refresh a → b becomes LRU
-        c.put("c", "3");
-        assert!(c.get("b").is_none());
-        assert!(c.get("a").is_some());
-        assert!(c.get("c").is_some());
+        c.put(b"a", "1");
+        c.put(b"b", "2");
+        c.get(b"a"); // refresh a → b becomes LRU
+        c.put(b"c", "3");
+        assert!(c.get(b"b").is_none());
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"c").is_some());
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn evicts_on_byte_bound() {
         let mut c = ResultCache::new(100, 20);
-        c.put("aaaa", "111111"); // 10 bytes
-        c.put("bbbb", "222222"); // 10 bytes
+        c.put(b"aaaa", "111111"); // 10 bytes
+        c.put(b"bbbb", "222222"); // 10 bytes
         assert_eq!(c.bytes(), 20);
-        c.put("cccc", "333333"); // forces eviction of "aaaa" (LRU)
+        c.put(b"cccc", "333333"); // forces eviction of "aaaa" (LRU)
         assert!(c.bytes() <= 20);
-        assert!(c.get("aaaa").is_none());
-        assert!(c.get("cccc").is_some());
+        assert!(c.get(b"aaaa").is_none());
+        assert!(c.get(b"cccc").is_some());
     }
 
     #[test]
     fn oversized_payload_is_not_cached() {
         let mut c = ResultCache::new(4, 8);
-        c.put("key", "a-payload-larger-than-the-cache");
+        c.put(b"key", "a-payload-larger-than-the-cache");
         assert!(c.is_empty());
-        assert!(c.get("key").is_none());
+        assert!(c.get(b"key").is_none());
     }
 
     #[test]
     fn replace_updates_bytes() {
         let mut c = ResultCache::new(4, 1024);
-        c.put("k", "short");
+        c.put(b"k", "short");
         let before = c.bytes();
-        c.put("k", "a rather longer payload");
+        c.put(b"k", "a rather longer payload");
         assert_eq!(c.len(), 1);
         assert!(c.bytes() > before);
-        assert_eq!(c.get("k").unwrap().0, "a rather longer payload");
+        assert_eq!(c.get(b"k").unwrap().0, "a rather longer payload");
+    }
+
+    #[test]
+    fn binary_keys_with_shared_prefixes_stay_distinct() {
+        let mut c = ResultCache::new(8, 1024);
+        c.put(&[0, 1, 2], "first");
+        c.put(&[0, 1, 2, 0], "second");
+        c.put(&[0, 1], "third");
+        assert_eq!(c.get(&[0, 1, 2]).unwrap().0, "first");
+        assert_eq!(c.get(&[0, 1, 2, 0]).unwrap().0, "second");
+        assert_eq!(c.get(&[0, 1]).unwrap().0, "third");
+        assert_eq!(c.len(), 3);
     }
 }

@@ -292,6 +292,13 @@ pub struct Handle {
 impl Server {
     /// Starts the worker pool.
     pub fn start(cfg: ServeConfig) -> Server {
+        // Cross-request memoization: the shared read-mostly tier makes
+        // sub-problem results (eliminations, Smith forms, Faulhaber
+        // polynomials) O(1) hits across requests and worker threads.
+        // Process-wide and sticky — entries are keyed by canonical
+        // encodings, so they can never go stale (see
+        // `presburger_trace::memo`).
+        trace::memo::enable_shared(true);
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
@@ -616,16 +623,20 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
             return raw_err(err_line(id, "parse", &e.to_string()));
         }
     };
-    let poly = match &query.poly_text {
-        None => QPoly::one(),
+    let poly_affine = match &query.poly_text {
+        None => None,
         Some(text) => match parse_affine(text, &mut space) {
-            Ok(a) => QPoly::from_affine(&a),
+            Ok(a) => Some(a),
             Err(e) => {
                 inner.stats.bump(&inner.stats.errors);
                 return raw_err(err_line(id, "parse", &format!("in polynomial: {e}")));
             }
         },
     };
+    let poly = poly_affine
+        .as_ref()
+        .map(QPoly::from_affine)
+        .unwrap_or_else(QPoly::one);
     let vars: Vec<_> = query
         .vars
         .iter()
@@ -636,23 +647,43 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
         })
         .collect();
 
-    // Canonical cache key: verb + vars + re-rendered formula +
-    // canonical poly + budget overrides (see module docs on replay).
-    let verb = match query.verb {
-        Verb::Count => "count",
-        Verb::Sum => "sum",
-    };
+    // Canonical cache key: the structural interning encoding of the
+    // parsed formula, not its text. Counted variables are interned
+    // first (indices 0..n in listed order) and their *names* never
+    // appear in a response payload, so only their indices are keyed —
+    // alpha-equivalent queries that merely rename the counted variables
+    // share an entry. Free symbols, interned by the parser in
+    // appearance order, do surface in symbolic answers, so their
+    // (index, name) table is part of the key. Budget overrides are
+    // keyed too (they change whether an answer is exact or bounded).
     let formula_text = formula.to_string(&space);
-    let cache_key = format!(
-        "{verb}|{}|{}|{}|{formula_text}",
-        query.vars.join(","),
-        query.overrides.cache_key_part(),
-        query
-            .poly_text
-            .as_deref()
-            .map(|_| poly.to_string(&space))
-            .unwrap_or_default(),
-    );
+    let mut cache_key = Vec::with_capacity(128);
+    cache_key.push(match query.verb {
+        Verb::Count => 0u8,
+        Verb::Sum => 1,
+    });
+    cache_key.extend_from_slice(&(vars.len() as u32).to_le_bytes());
+    for v in &vars {
+        cache_key.extend_from_slice(&(v.index() as u32).to_le_bytes());
+    }
+    cache_key.extend_from_slice(&((space.len() - vars.len()) as u32).to_le_bytes());
+    for v in space.iter().skip(vars.len()) {
+        let name = space.name(v);
+        cache_key.extend_from_slice(&(v.index() as u32).to_le_bytes());
+        cache_key.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        cache_key.extend_from_slice(name.as_bytes());
+    }
+    let over = query.overrides.cache_key_part();
+    cache_key.extend_from_slice(&(over.len() as u32).to_le_bytes());
+    cache_key.extend_from_slice(over.as_bytes());
+    presburger_omega::intern::formula_push_key_bytes(&formula, &mut cache_key);
+    match &poly_affine {
+        None => cache_key.push(0),
+        Some(a) => {
+            cache_key.push(1);
+            a.push_key_bytes(&mut cache_key);
+        }
+    }
 
     if let Some((payload, ordinal)) = inner
         .cache

@@ -50,7 +50,12 @@ pub struct TelemetrySettings {
     pub capture_counters: bool,
     /// Capture span trees on workers so flight records carry the full
     /// derivation of a slow request. Costs allocations per span while
-    /// on; independent of the engine's answer.
+    /// on; independent of the engine's answer. **Off by default**: span
+    /// tracing forces sub-problem memoization to stand down on the
+    /// worker (a memo hit skips the body, so its spans and explain
+    /// events could not be reproduced — see
+    /// [`presburger_trace::memo::active`]), and cross-request memo hits
+    /// are worth more to a serving process than always-on span trees.
     pub capture_spans: bool,
     /// Flight-recorder ring capacity (newest wins); `0` disables it.
     pub flight_records: usize,
@@ -70,7 +75,7 @@ impl Default for TelemetrySettings {
         TelemetrySettings {
             metrics: true,
             capture_counters: true,
-            capture_spans: true,
+            capture_spans: false,
             flight_records: 64,
             flight_threshold_us: 250_000,
             event_log: std::env::var("PRESBURGER_EVENT_LOG")
@@ -368,9 +373,13 @@ impl Telemetry {
     }
 
     /// The `metrics` verb's reply: Prometheus text exposition, `# EOF`
-    /// terminated (also OpenMetrics' end marker).
+    /// terminated (also OpenMetrics' end marker). Alongside the
+    /// request-scoped registry it exposes the process-wide memoization
+    /// totals ([`presburger_trace::memo::stats`]): hit/miss counters
+    /// and the shared-tier residency gauges.
     pub fn metrics_text(&self) -> String {
         let mut out = self.metrics.render_prometheus();
+        out.push_str(&trace::memo::prometheus_text());
         out.push_str("# EOF");
         out
     }

@@ -96,7 +96,22 @@ fn golden_metrics_exposition() {
     ));
     assert!(text.contains("presburger_request_duration_us_count{verb=\"count\",outcome=\"ok\"} 1"));
     assert!(text.ends_with("# EOF"));
-    assert_eq!(text, handle.metrics_text(), "exposition must be stable");
+    // The memo totals are process-wide (other tests in this binary may
+    // bump them between two renders), so stability is asserted on the
+    // masked form: series set, label order, and line structure.
+    assert_eq!(
+        mask_values(&text),
+        mask_values(&handle.metrics_text()),
+        "exposition structure must be stable"
+    );
+    for want in [
+        "# TYPE presburger_memo_hits_total counter",
+        "# TYPE presburger_memo_misses_total counter",
+        "# TYPE presburger_memo_shared_entries gauge",
+        "# TYPE presburger_memo_shared_bytes gauge",
+    ] {
+        assert!(text.contains(want), "missing {want:?} in:\n{text}");
+    }
 
     let masked = mask_values(&text);
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
@@ -126,6 +141,9 @@ fn flight_recorder_captures_faulted_request() {
         fault_spec: (!env_fault).then(|| "splinters_generated:1".to_string()),
         telemetry: TelemetrySettings {
             flight_threshold_us: u64::MAX,
+            // Span capture is opt-in (it stands the memo down); this
+            // drill asserts the retained span tree, so turn it on.
+            capture_spans: true,
             ..TelemetrySettings::default()
         },
         ..base_cfg()

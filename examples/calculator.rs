@@ -19,6 +19,12 @@
 //! * `--json` — with `--stats`/`--trace`, emit JSON instead of text;
 //! * `--threads N` — drain the clause pipeline with `N` worker threads
 //!   (`0` = one per core). Answers are byte-identical at any setting;
+//! * `--no-memo` — disable sub-problem memoization (eliminations,
+//!   Smith forms, Faulhaber polynomials). Answers and counters are
+//!   byte-identical either way; the flag exists for timing comparisons
+//!   and as a belt alongside the `PRESBURGER_MEMO=0` environment knob.
+//!   `--trace` also stands the memo down on its own (a memo hit skips
+//!   the body, so a traced derivation must recompute);
 //! * `--timeout MS` — govern the query with a wall-clock deadline of
 //!   `MS` milliseconds;
 //! * `--max-splinters N` — govern the query with a cap on §5.2
@@ -52,6 +58,7 @@ struct Options {
     metrics: bool,
     serve: bool,
     threads: usize,
+    no_memo: bool,
     timeout_ms: Option<u64>,
     max_splinters: Option<u64>,
     degrade: Option<DegradePolicy>,
@@ -118,10 +125,13 @@ fn run_query(query: &str, opts: &Options) -> Result<ReqOutcome, QueryError> {
         .collect();
 
     presburger::reset_stats();
-    let count_opts = CountOptions {
+    let mut count_opts = CountOptions {
         threads: opts.threads,
         ..CountOptions::default()
     };
+    if opts.no_memo {
+        count_opts.memo = false;
+    }
     println!("> {query}");
     let mut outcome = ReqOutcome::Ok;
     let fmt = |c: Option<i64>| c.map_or_else(|| "?".to_string(), |c| c.to_string());
@@ -228,6 +238,7 @@ fn main() {
         metrics: false,
         serve: false,
         threads: CountOptions::default().threads,
+        no_memo: false,
         timeout_ms: None,
         max_splinters: None,
         degrade: None,
@@ -241,6 +252,7 @@ fn main() {
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
             "--serve" => opts.serve = true,
+            "--no-memo" => opts.no_memo = true,
             "--threads" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => opts.threads = n,
                 _ => {
@@ -348,6 +360,7 @@ fn main() {
     if opts.metrics {
         println!("--- metrics ---");
         print!("{}", metrics.render_prometheus());
+        print!("{}", presburger::trace::memo::prometheus_text());
         println!("# EOF");
     }
     if failed {

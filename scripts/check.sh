@@ -37,6 +37,26 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
+echo "==> memo gate (zipf request mix: >= 50% hit rate and a wall-clock win)"
+# The S3 experiment replays a fixed zipf-skewed request stream twice —
+# memo off, then memo on from a cold table — and records the hit rate
+# and speedup in BENCH_counters.json (left by the 4-thread run above).
+# The memo must earn its keep: at least half of all sub-problem probes
+# served from the table, and the memo-on stream faster in wall-clock
+# terms. (Transparency — byte-identical answers — is asserted inside
+# S3 itself and by tests/memoization.rs.)
+memo_stats=$(awk '
+    match($0, /"memo_hit_rate":[0-9.]+/)  { hr = substr($0, RSTART + 16, RLENGTH - 16) }
+    match($0, /"memo_speedup":[0-9.]+/)   { sp = substr($0, RSTART + 15, RLENGTH - 15) }
+    END { print hr, sp }' BENCH_counters.json)
+hit_rate=${memo_stats% *}
+speedup=${memo_stats#* }
+echo "    hit rate: $hit_rate, memo-on speedup: ${speedup}x"
+if ! awk -v h="$hit_rate" -v s="$speedup" 'BEGIN { exit !(h >= 0.5 && s > 1.0) }'; then
+    echo "FAIL: memo gate: hit rate $hit_rate (need >= 0.5) or speedup $speedup (need > 1.0)" >&2
+    exit 1
+fi
+
 echo "==> fault-injection matrix (every budget kind + cancellation + worker panic)"
 # Each entry arms one fault site through PRESBURGER_FAULT and runs the
 # governed integration test, which asserts the documented outcome for
@@ -63,9 +83,10 @@ done
 echo "==> fuzz smoke (generative differential harness, fixed seed)"
 # Four layers (see DESIGN.md §10):
 #   1. the seed corpus must exist and replay clean;
-#   2. 200 fixed-seed generated cases must pass all four oracle
+#   2. 200 fixed-seed generated cases must pass all five oracle
 #      families (brute force, inclusion–exclusion + invariances,
-#      determinism + governed bracketing, baselines);
+#      determinism + governed bracketing, baselines, memo
+#      transparency);
 #   3.+4. with each deliberate engine bug armed, the harness must
 #      CATCH it and shrink it to a ≤3-constraint counterexample (the
 #      test inverts its expectation when PRESBURGER_GEN_FAULT is set).
@@ -117,7 +138,7 @@ echo "    PRESBURGER_FAULT=splinters_generated:1 (flight recorder captures the f
 PRESBURGER_FAULT=splinters_generated:1 cargo test --release -q -p presburger-serve \
     --test metrics flight_recorder_captures_faulted_request > /dev/null
 
-echo "==> trace overhead smoke (disabled collector, governor & telemetry < 5% of E3)"
+echo "==> trace overhead smoke (disabled collector, governor, telemetry & memo < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 
 echo "All checks passed."

@@ -1,0 +1,153 @@
+//! Memoization transparency: answers AND pipeline counters must be
+//! byte-identical with the memo on or off, at any thread count, and at
+//! any table warmth. The memo's only observable footprint is its own
+//! meta-counters (`MemoHit` / `MemoMiss` / `MemoBytes`), which report
+//! hit patterns and are excluded from the comparisons
+//! ([`PipelineStats::without_memo_meta`]).
+//!
+//! The workload is the splinter-heavy residue stencil from the stress
+//! experiments: every clause carries a stride and a non-unit
+//! coefficient, so every clause task exercises the memoized elimination
+//! path (dark shadow + splinters), and the clauses share sub-problems —
+//! exactly what the memo exists to exploit.
+
+use presburger::prelude::*;
+use presburger::trace::{self, Counter, PipelineStats};
+use presburger_counting::{try_count_solutions, Symbolic};
+
+/// The E9 parity region `1 ≤ i ∧ 1 ≤ j ≤ n ∧ 2i ≤ 3j`, partitioned
+/// into `k` clauses by the residue of `i` mod `k`. The union
+/// telescopes back to the closed form `(3n² + 2n − (n mod 2))/4`.
+fn residue_stencil(s: &mut Space, k: i64) -> (Formula, Vec<VarId>) {
+    let i = s.var("i");
+    let j = s.var("j");
+    let n = s.symbol("n");
+    let clauses = (0..k)
+        .map(|c| {
+            Formula::and(vec![
+                Formula::le(Affine::constant(1), Affine::var(i)),
+                Formula::le(Affine::constant(1), Affine::var(j)),
+                Formula::le(Affine::var(j), Affine::var(n)),
+                Formula::le(Affine::term(i, 2), Affine::term(j, 3)),
+                Formula::stride(k, Affine::var(i) - Affine::constant(c)),
+            ])
+        })
+        .collect();
+    (Formula::or(clauses), vec![i, j])
+}
+
+/// Runs one governed-free count with counters on, returning the answer
+/// and the counter delta it charged.
+fn metered(
+    s: &Space,
+    f: &Formula,
+    vars: &[VarId],
+    opts: &CountOptions,
+) -> (Symbolic, PipelineStats) {
+    trace::enable_counters(true);
+    let before = trace::snapshot();
+    let r = try_count_solutions(s, f, vars, opts).expect("countable");
+    let delta = trace::snapshot().delta(&before);
+    trace::enable_counters(false);
+    (r, delta)
+}
+
+#[test]
+fn answers_and_counters_identical_memo_on_off_across_threads() {
+    let mut s = Space::new();
+    let (f, vars) = residue_stencil(&mut s, 6);
+    let mut answers: Vec<String> = Vec::new();
+    let mut masked: Vec<PipelineStats> = Vec::new();
+    for memo in [true, false] {
+        for threads in [1usize, 2, 8] {
+            let opts = CountOptions {
+                threads,
+                memo,
+                ..CountOptions::default()
+            };
+            let (r, delta) = metered(&s, &f, &vars, &opts);
+            if !memo {
+                assert_eq!(delta.get(Counter::MemoHit), 0, "memo off must not hit");
+                assert_eq!(delta.get(Counter::MemoMiss), 0, "memo off must not probe");
+            }
+            answers.push(r.to_display_string());
+            masked.push(delta.without_memo_meta());
+        }
+    }
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "answers must be byte-identical memo-on/off at 1/2/8 threads: {answers:?}"
+    );
+    for (i, pair) in masked.windows(2).enumerate() {
+        assert!(
+            pair[0] == pair[1],
+            "counter totals (memo meta masked) diverged at run {i}"
+        );
+    }
+}
+
+#[test]
+fn warm_table_hits_without_changing_anything() {
+    let mut s = Space::new();
+    let (f, vars) = residue_stencil(&mut s, 5);
+    let opts = CountOptions {
+        memo: true,
+        ..CountOptions::default()
+    };
+    let (cold_r, cold) = metered(&s, &f, &vars, &opts);
+    let (warm_r, warm) = metered(&s, &f, &vars, &opts);
+    assert_eq!(cold_r.to_display_string(), warm_r.to_display_string());
+    // The residue clauses share elimination sub-problems, so even the
+    // cold run hits; the warm run must be served largely from the table.
+    assert!(
+        warm.get(Counter::MemoHit) > 0,
+        "second identical query must hit the memo: {warm}"
+    );
+    assert!(
+        warm.get(Counter::MemoMiss) < cold.get(Counter::MemoMiss)
+            || cold.get(Counter::MemoMiss) == 0,
+        "warm run must miss less than the cold run: cold {cold} warm {warm}"
+    );
+    assert_eq!(
+        cold.without_memo_meta(),
+        warm.without_memo_meta(),
+        "table warmth must not leak into replayed counters"
+    );
+    // And the answer itself matches the region's closed form.
+    for nv in 0i64..=12 {
+        let expect = if nv >= 1 {
+            (3 * nv * nv + 2 * nv - nv.rem_euclid(2)) / 4
+        } else {
+            0
+        };
+        assert_eq!(warm_r.eval_i64(&[("n", nv)]), Some(expect), "n={nv}");
+    }
+}
+
+#[test]
+fn governed_deadline_only_run_still_memoizes_and_matches() {
+    // Deadline-only governed regions are memo-safe (no counter caps, no
+    // armed fault); the governed answer must match the ungoverned one
+    // with the memo on either side.
+    let mut s = Space::new();
+    let (f, vars) = residue_stencil(&mut s, 4);
+    let opts_on = CountOptions {
+        memo: true,
+        ..CountOptions::default()
+    };
+    let opts_off = CountOptions {
+        memo: false,
+        ..CountOptions::default()
+    };
+    let plain = try_count_solutions(&s, &f, &vars, &opts_off).expect("countable");
+    let gov = Governor::new(Budgets {
+        deadline: Some(std::time::Duration::from_secs(120)),
+        ..Budgets::unlimited()
+    });
+    let governed =
+        presburger::try_count_solutions_governed(&s, &f, &vars, &opts_on, &gov).expect("governed");
+    match governed {
+        Outcome::Exact(c) => assert_eq!(c.to_display_string(), plain.to_display_string()),
+        Outcome::Bounded { .. } => panic!("a 120 s deadline must not trip on this workload"),
+    }
+}
