@@ -117,6 +117,29 @@ fn main() {
     }
     let per_memo_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(HOOK_LOOPS);
 
+    // 2e. Per-request cost of the shard router (DESIGN.md §14): one
+    //     `routing_hash` (canonical intern key of the parsed formula)
+    //     plus one consistent-hash `route` per request, measured on the
+    //     §2.6 dependence formula — a far larger routing key than the
+    //     stress mix's. Unlike the hooks above this path has no
+    //     disabled state: every pooled request pays it exactly once, so
+    //     its full cost is gated directly.
+    let routed_query = {
+        let line = "count r0 {x,y : 1 <= x && x <= 9 && 0 <= y && y <= x}";
+        match presburger_serve::parse_request(line) {
+            Ok(presburger_serve::Request::Query(q)) => q,
+            other => panic!("routing workload must parse: {other:?}"),
+        }
+    };
+    let ring = presburger_serve::Ring::new(4, 64);
+    const ROUTE_LOOPS: u32 = 100_000;
+    let t = Instant::now();
+    for _ in 0..ROUTE_LOOPS {
+        let h = presburger_serve::routing_hash(std::hint::black_box(&routed_query));
+        std::hint::black_box(ring.route(h));
+    }
+    let per_route_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(ROUTE_LOOPS);
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -142,17 +165,23 @@ fn main() {
     // Every memoizable call site bumps at least one counter, so the
     // hook count bounds the number of memo guards per run.
     let memo_overhead_ms = hooks as f64 * per_memo_ns / 1e6;
+    // A pooled request routes exactly once — the multiplier here is 1,
+    // not the 64× used for the per-worker hooks above, because routing
+    // happens at admission, never inside the compute.
+    let route_overhead_ms = per_route_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
     let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
     let obs_pct = 100.0 * obs_overhead_ms / median_ms;
     let memo_pct = 100.0 * memo_overhead_ms / median_ms;
+    let route_pct = 100.0 * route_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
     println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
     println!("disabled fork handle:    {per_fork_ns:.2} ns");
     println!("disabled request metric: {per_obs_ns:.2} ns");
     println!("disabled memo guard:     {per_memo_ns:.2} ns");
+    println!("shard route cost:        {per_route_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
     println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
@@ -183,5 +212,12 @@ fn main() {
         eprintln!("FAIL: disabled memo-guard overhead {memo_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector, disabled-governor, disabled-telemetry and disabled-memo overhead is below the 5% bound");
+    println!(
+        "shard-routing overhead:  {route_overhead_ms:.4} ms per request ({route_pct:.2}% of E3)"
+    );
+    if route_pct >= 5.0 {
+        eprintln!("FAIL: shard-routing overhead {route_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-collector, disabled-governor, disabled-telemetry, disabled-memo and shard-routing overhead is below the 5% bound");
 }

@@ -18,18 +18,31 @@
 //!    `reason=draining`; a zero-deadline drain still loses nothing.
 //! 5. **Latency** — sequential round-trip p50/p99 and phase-1
 //!    throughput, recorded to `BENCH_serve.json`.
+//! 6. **Shard-pool chaos drills** — the supervised [`ShardPool`] at 1,
+//!    2 and 4 shards produces transcripts byte-identical to each other
+//!    and to the same run with a deterministic `kill` / `wedge` /
+//!    `delay` fault armed mid-stream: a killed or wedged shard's
+//!    requests are re-dispatched, never lost, never degraded; a `delay`
+//!    never trips the supervisor. The jittered-retry client helper
+//!    rides out deterministic queue-full sheds.
 //!
 //! Honours `PRESBURGER_FAULT` (phase 1 runs with the breaker disabled
-//! so env-injected faults stay per-request-deterministic) and
-//! `PRESBURGER_SERVE_REQUESTS` / `PRESBURGER_SERVE_CONNS` /
-//! `PRESBURGER_SERVE_BENCH_OUT`.
+//! so env-injected faults stay per-request-deterministic),
+//! `PRESBURGER_CHAOS` (an extra phase-6 drill with the env-armed
+//! fault), `PRESBURGER_SERVE_SHARDS` (shard count for that drill),
+//! `PRESBURGER_SERVE_CHAOS_ONLY=1` (run phase 6 alone — the
+//! `chaos_gate` fast path) and `PRESBURGER_SERVE_REQUESTS` /
+//! `PRESBURGER_SERVE_CONNS` / `PRESBURGER_SERVE_BENCH_OUT`.
 
 use presburger_counting::Budgets;
 use presburger_gen::{request_lines, GenConfig, GenRequest};
 use presburger_serve::server::{serve_connection, Gate, Server};
-use presburger_serve::ServeConfig;
+use presburger_serve::{
+    routing_hash, Chaos, RetryPolicy, Ring, ServeConfig, ShardPool, ShardPoolConfig,
+};
 use presburger_trace::json::JsonObject;
 use presburger_trace::metrics::ReqVerb;
+use presburger_trace::shard::ShardRowSnapshot;
 use std::io::{Cursor, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -445,9 +458,10 @@ fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
             .field_u64("shedding", PHASE2_REQUESTS.load(Ordering::Relaxed))
             .field_u64("breaker", PHASE3_REQUESTS.load(Ordering::Relaxed))
             .field_u64("drain", PHASE4_REQUESTS.load(Ordering::Relaxed))
-            .field_u64("latency", n as u64);
+            .field_u64("latency", n as u64)
+            .field_u64("chaos", PHASE6_REQUESTS.load(Ordering::Relaxed));
         let mut obj = JsonObject::new();
-        obj.field_str("schema", "serve_bench_v2")
+        obj.field_str("schema", "serve_bench_v3")
             .field_u64("requests", n as u64)
             .field_u64("p50_us", overall.percentile(0.50))
             .field_u64("p90_us", overall.percentile(0.90))
@@ -463,10 +477,341 @@ fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
             .field_raw("queue_wait_us_by_verb", &queue_by_verb.finish())
             .field_raw("govern_overhead_us_by_verb", &overhead_by_verb.finish())
             .field_raw("splinters_by_verb", &splinters_by_verb.finish());
+        if let Some(drills) = CHAOS_DRILLS.lock().unwrap().take() {
+            obj.field_raw("chaos_drills", &drills);
+        }
         if std::fs::write(&out, obj.finish() + "\n").is_ok() {
             println!("    wrote {out}");
         }
     }
+}
+
+/// A deterministic pool config for the chaos phase: bulkhead shards
+/// with deep queues (no sheds), replay budgets, a fast supervisor and a
+/// rescue deadline far beyond the run (the drills must prove
+/// *re-dispatch*, not the §4.6 fallback).
+fn chaos_pool_cfg(shards: usize, depth: usize, chaos: Option<Arc<Chaos>>) -> ShardPoolConfig {
+    ShardPoolConfig {
+        shards,
+        shard_cfg: ServeConfig {
+            workers: 1,
+            queue_depth: depth,
+            default_deadline_ms: None,
+            default_budgets: replay_budgets(),
+            breaker_failures: 0,
+            ..ServeConfig::default()
+        },
+        probe_interval_ms: 2,
+        // Far above any legitimate compute in the stress mix (the
+        // heartbeat freezes for the whole of one compute, and an
+        // oversubscribed box can stretch one to hundreds of ms): only
+        // the injected forever-wedge may trip this.
+        wedge_timeout_ms: 2_000,
+        restart_backoff_ms: 5,
+        rescue_after_ms: 60_000,
+        chaos,
+        ..ShardPoolConfig::default()
+    }
+}
+
+/// Runs `conns` connections over the fixed round-robin partition of
+/// `requests` against a supervised pool. `chaos` must be explicit: the
+/// chaos-off baselines pass a disarmed `None` *after* main has cleared
+/// `PRESBURGER_CHAOS` from the environment, so an env-armed drill can
+/// never leak into them. Returns the per-connection transcripts, the
+/// per-shard failover rows, and the final aggregated stats line.
+fn run_pool_partitioned(
+    shards: usize,
+    requests: &[GenRequest],
+    conns: usize,
+    chaos: Option<Arc<Chaos>>,
+) -> (Vec<String>, Vec<ShardRowSnapshot>, String) {
+    let pool = ShardPool::start(chaos_pool_cfg(shards, requests.len() + conns, chaos));
+    let handle = pool.handle();
+    let outputs: Vec<_> = (0..conns).map(|_| SharedBuf::new()).collect();
+    thread::scope(|scope| {
+        for (c, out) in outputs.iter().enumerate() {
+            let handle = handle.clone();
+            let input: String = requests
+                .iter()
+                .skip(c)
+                .step_by(conns)
+                .map(|r| format!("{}\n", r.line))
+                .collect();
+            let out = out.clone();
+            scope.spawn(move || {
+                serve_connection(&handle, Cursor::new(input), out, false)
+                    .expect("in-memory connection cannot fail");
+            });
+        }
+    });
+    let stats = pool.shutdown();
+    (
+        outputs.iter().map(SharedBuf::take).collect(),
+        handle.shard_rows(),
+        stats,
+    )
+}
+
+/// Reply census of a transcript set: (exact, bounded, err, shed) —
+/// the "masked counters" whose equality chaos on/off must preserve.
+fn census(transcripts: &[String]) -> (u64, u64, u64, u64) {
+    let mut c = (0, 0, 0, 0);
+    for line in transcripts.iter().flat_map(|t| t.lines()) {
+        let mut tok = line.split_whitespace();
+        match (tok.next(), tok.nth(1)) {
+            (Some("OK"), Some("exact")) => c.0 += 1,
+            (Some("OK"), Some("bounded")) => c.1 += 1,
+            (Some("ERR"), _) => c.2 += 1,
+            (Some("SHED"), _) => c.3 += 1,
+            other => panic!("census: unexpected reply {line:?} ({other:?})"),
+        }
+    }
+    c
+}
+
+/// The shard the plurality of `requests` routes to at `shards` shards —
+/// the most interesting place to arm chaos (its worker is guaranteed to
+/// pop a 3rd job).
+fn plurality_shard(requests: &[GenRequest], shards: usize) -> usize {
+    let ring = Ring::new(shards, 64);
+    let mut routed = vec![0u64; shards];
+    for r in requests {
+        if let Ok(presburger_serve::Request::Query(q)) = presburger_serve::parse_request(&r.line) {
+            routed[ring.route(routing_hash(&q))] += 1;
+        }
+    }
+    (0..shards)
+        .max_by_key(|&s| routed[s])
+        .expect("at least one shard")
+}
+
+/// One chaos drill: run with the fault armed, assert the transcripts
+/// are byte-identical to the chaos-off baseline (zero lost, zero
+/// degraded, zero reordered) and return the summed failover rows.
+#[allow(clippy::too_many_arguments)]
+fn chaos_drill(
+    label: &str,
+    site: &str,
+    shards: usize,
+    requests: &[GenRequest],
+    conns: usize,
+    baseline: &[String],
+) -> (usize, Vec<ShardRowSnapshot>) {
+    let armed = plurality_shard(requests, shards);
+    let chaos = Arc::new(
+        Chaos::parse(&format!("{site}:{armed}:3")).expect("drill chaos spec always parses"),
+    );
+    let (transcripts, rows, _) = run_pool_partitioned(shards, requests, conns, Some(chaos.clone()));
+    assert!(
+        chaos.fired(),
+        "{label}: the armed fault never fired (shard {armed} popped < 3 jobs?)"
+    );
+    assert_eq!(
+        baseline,
+        &transcripts[..],
+        "{label}: transcripts drifted from the chaos-off baseline"
+    );
+    assert_eq!(
+        census(baseline),
+        census(&transcripts),
+        "{label}: reply census changed under chaos"
+    );
+    (armed, rows)
+}
+
+fn phase_chaos(n: usize, conns: usize, env_chaos: Option<Arc<Chaos>>) {
+    println!("==> phase 6: supervised shard-pool chaos drills ({n} requests, {conns} connections)");
+    let requests = request_lines(0xC0FFEE, n, &GenConfig::default());
+    let ids_for = |c: usize| -> Vec<&str> {
+        requests
+            .iter()
+            .skip(c)
+            .step_by(conns)
+            .map(|r| r.id.as_str())
+            .collect()
+    };
+
+    // 6a: chaos off, the pool is transparent — byte-identical
+    // transcripts at 1, 2 and 4 shards (replies are pure functions of
+    // queries; routing only picks who computes them).
+    let mut baselines: std::collections::HashMap<usize, Vec<String>> =
+        std::collections::HashMap::new();
+    for shards in [1usize, 2, 4] {
+        let (transcripts, rows, stats) = run_pool_partitioned(shards, &requests, conns, None);
+        for (c, t) in transcripts.iter().enumerate() {
+            check_transcript(t, &ids_for(c), &format!("pool shards={shards} conn {c}"));
+        }
+        let routed: u64 = rows.iter().map(|r| r.routed).sum();
+        assert_eq!(
+            routed, n as u64,
+            "every request must be routed exactly once"
+        );
+        assert!(
+            stats.contains(" rescued=0 ") && stats.contains(" restarts=0"),
+            "chaos-off run tripped the supervisor: {stats}"
+        );
+        if let Some(base) = baselines.get(&1) {
+            assert_eq!(
+                base, &transcripts,
+                "shards={shards}: transcript differs from the 1-shard pool"
+            );
+        }
+        println!("    shards={shards}: ok ({} routed)", routed);
+        baselines.insert(shards, transcripts);
+    }
+
+    // 6b: deterministic drills. A kill mid-stream at every shard count,
+    // a wedge and a delay at 2 shards — transcripts never change.
+    let mut drill_rows: Vec<(String, usize, usize, Vec<ShardRowSnapshot>)> = Vec::new();
+    for (site, shards) in [
+        ("kill", 1),
+        ("kill", 2),
+        ("kill", 4),
+        ("wedge", 2),
+        ("delay", 2),
+    ] {
+        let label = format!("drill {site} shards={shards}");
+        let (armed, rows) =
+            chaos_drill(&label, site, shards, &requests, conns, &baselines[&shards]);
+        let sum = |f: fn(&ShardRowSnapshot) -> u64| -> u64 { rows.iter().map(f).sum() };
+        match site {
+            "kill" => {
+                assert_eq!(rows[armed].crashes, 1, "{label}: crash not detected");
+                assert_eq!(sum(|r| r.wedges), 0, "{label}: spurious wedge");
+                assert!(rows[armed].restarts >= 1, "{label}: shard not restarted");
+                assert!(
+                    sum(|r| r.redispatched) >= 1,
+                    "{label}: orphan not re-dispatched"
+                );
+            }
+            "wedge" => {
+                assert_eq!(rows[armed].wedges, 1, "{label}: wedge not detected");
+                assert_eq!(sum(|r| r.crashes), 0, "{label}: spurious crash");
+                assert!(rows[armed].restarts >= 1, "{label}: shard not restarted");
+                assert!(
+                    sum(|r| r.redispatched) >= 1,
+                    "{label}: orphan not re-dispatched"
+                );
+            }
+            "delay" => {
+                assert_eq!(
+                    sum(|r| r.crashes + r.wedges + r.restarts + r.redispatched),
+                    0,
+                    "{label}: a 40ms delay must not trip the supervisor"
+                );
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(
+            sum(|r| r.rescued),
+            0,
+            "{label}: fallback fired instead of re-dispatch"
+        );
+        println!(
+            "    {label}: armed shard {armed}, byte-identical transcripts, \
+             crashes={} wedges={} restarts={} redispatched={}",
+            sum(|r| r.crashes),
+            sum(|r| r.wedges),
+            sum(|r| r.restarts),
+            sum(|r| r.redispatched),
+        );
+        drill_rows.push((site.to_string(), shards, armed, rows));
+    }
+
+    // 6c: an env-armed drill (`PRESBURGER_CHAOS`), at
+    // `PRESBURGER_SERVE_SHARDS` shards: zero lost responses whatever
+    // the spec targets (a shard index past the pool, or an nth never
+    // reached, simply never fires — the invariant must hold anyway).
+    if let Some(chaos) = env_chaos {
+        let shards = env_usize("PRESBURGER_SERVE_SHARDS", 2).max(1);
+        let base = baselines
+            .get(&shards)
+            .cloned()
+            .unwrap_or_else(|| run_pool_partitioned(shards, &requests, conns, None).0);
+        let (transcripts, rows, _) =
+            run_pool_partitioned(shards, &requests, conns, Some(chaos.clone()));
+        for (c, t) in transcripts.iter().enumerate() {
+            check_transcript(t, &ids_for(c), &format!("env drill conn {c}"));
+        }
+        assert_eq!(
+            base, transcripts,
+            "env drill: transcripts drifted from the chaos-off baseline"
+        );
+        println!(
+            "    env drill (shards={shards}): fired={} rescued={} — byte-identical",
+            chaos.fired(),
+            rows.iter().map(|r| r.rescued).sum::<u64>(),
+        );
+    }
+
+    // 6d: the retry helper rides out deterministic queue-full sheds.
+    let gate = Gate::new(true);
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        hold: Some(gate.clone()),
+        default_deadline_ms: None,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let held = match presburger_serve::parse_request(&format!("count r0 {{x : {CLEAN}}}")).unwrap()
+    {
+        presburger_serve::Request::Query(q) => handle.submit(q),
+        _ => unreachable!(),
+    };
+    let opener = thread::spawn({
+        let gate = gate.clone();
+        move || {
+            thread::sleep(Duration::from_millis(30));
+            gate.open();
+        }
+    });
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay_ms: 15,
+        max_delay_ms: 120,
+    };
+    let mut attempts = 0u32;
+    let line = presburger_serve::submit_with_retry(&policy, "r1", || {
+        attempts += 1;
+        submit_line(&handle, &format!("count r1 {{x : {CLEAN}}}"))
+    });
+    assert!(
+        line.starts_with("OK r1 exact "),
+        "retry never landed: {line}"
+    );
+    assert!(attempts > 1, "the first attempt should have shed");
+    assert!(held.wait().starts_with("OK r0 "));
+    opener.join().expect("gate opener");
+    server.shutdown();
+    println!("    retry helper: landed after {attempts} attempts");
+
+    // Record for BENCH_serve.json (consumed by phase 5's writer).
+    PHASE6_REQUESTS.store((n * 8) as u64, Ordering::Relaxed);
+    let drills =
+        presburger_trace::json::array(drill_rows.into_iter().map(|(site, shards, armed, rows)| {
+            let mut obj = JsonObject::new();
+            obj.field_str("site", &site)
+                .field_u64("shards", shards as u64)
+                .field_u64("armed", armed as u64)
+                .field_raw(
+                    "rows",
+                    &presburger_trace::json::array(rows.iter().enumerate().map(|(i, r)| {
+                        let mut row = JsonObject::new();
+                        row.field_u64("shard", i as u64)
+                            .field_u64("routed", r.routed)
+                            .field_u64("redispatched", r.redispatched)
+                            .field_u64("rescued", r.rescued)
+                            .field_u64("restarts", r.restarts)
+                            .field_u64("crashes", r.crashes)
+                            .field_u64("wedges", r.wedges);
+                        row.finish()
+                    })),
+                );
+            obj.finish()
+        }));
+    *CHAOS_DRILLS.lock().unwrap() = Some(drills);
 }
 
 /// Per-phase request totals, recorded for `BENCH_serve.json`'s
@@ -475,15 +820,31 @@ static PHASE1_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE2_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE3_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE4_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static PHASE6_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// Phase 6's drill summary (JSON array), stashed for phase 5's bench
+/// writer. `None` when the chaos phase has not run.
+static CHAOS_DRILLS: Mutex<Option<String>> = Mutex::new(None);
 
 fn main() {
     let n = env_usize("PRESBURGER_SERVE_REQUESTS", 200);
     let conns = env_usize("PRESBURGER_SERVE_CONNS", 4).max(1);
+    // Read and clear the env-armed chaos up front: ShardPool::start
+    // falls back to the environment, and the chaos-off baselines of
+    // phase 6 must stay chaos-off.
+    let env_chaos = Chaos::from_env().unwrap_or_else(|e| panic!("{e}"));
+    std::env::remove_var("PRESBURGER_CHAOS");
+    if std::env::var("PRESBURGER_SERVE_CHAOS_ONLY").is_ok_and(|v| v == "1") {
+        phase_chaos(n, conns, env_chaos);
+        println!("serve_stress: chaos phase passed");
+        return;
+    }
     let (phase1_n, phase1_elapsed) = phase_replay_determinism(n, conns);
     PHASE1_REQUESTS.store(phase1_n as u64, Ordering::Relaxed);
     phase_shedding();
     phase_breaker_drill();
     phase_drain();
+    phase_chaos(n, conns, env_chaos);
     phase_latency(n.min(60), phase1_n, phase1_elapsed);
     println!("serve_stress: all phases passed");
 }

@@ -29,6 +29,14 @@
 //!   and an opt-in JSONL event log ([`telemetry`], DESIGN.md §12).
 //!   Telemetry is observational only: responses and replay transcripts
 //!   are byte-identical with it on or off.
+//! * **Supervised sharding** — a [`shard::ShardPool`] runs N bulkhead-
+//!   isolated servers behind a consistent-hash router and a supervisor
+//!   that detects crashed/wedged shards, restarts them with capped
+//!   backoff, and re-dispatches orphaned requests to siblings (falling
+//!   back to §4.6 bounds) so an admitted request never loses its
+//!   response — even with `PRESBURGER_CHAOS` ([`chaos`]) killing a
+//!   shard mid-run. Clients pair it with [`retry`]'s deterministic
+//!   jittered backoff on `SHED`. (DESIGN.md §14.)
 //!
 //! The wire protocol is newline-delimited text over stdin/stdout
 //! ([`server::run_stdio`]) or TCP ([`server::TcpServer`]); see
@@ -42,12 +50,19 @@
 
 pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod shard;
+mod sync;
 pub mod telemetry;
 
 pub use breaker::{Breaker, Plan};
 pub use cache::ResultCache;
+pub use chaos::{Chaos, ChaosSite};
 pub use protocol::{parse_request, Overrides, ProtocolError, Query, Request, ServeError, Verb};
-pub use server::{run_stdio, Gate, Handle, ServeConfig, Server, Slot, TcpServer};
+pub use retry::{submit_with_retry, RetryPolicy};
+pub use server::{run_stdio, Gate, Handle, ServeConfig, Server, Service, Slot, TcpServer};
+pub use shard::{routing_hash, PoolHandle, PoolTcpServer, Ring, ShardPool, ShardPoolConfig};
 pub use telemetry::{FlightRecord, RequestTelemetry, Telemetry, TelemetrySettings};

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! request  := query | "ping" [SP id] | "stats" | "metrics" | "stats/v2"
-//!           | "flightrec" | "drain"
+//!           | "flightrec" | "shards" | "drain"
 //! query    := "count" SP id option* SP body
 //!           | "sum"   SP id option* SP poly SP body
 //! option   := SP key "=" value          (keys below)
@@ -35,12 +35,15 @@
 //! circuit breaker pre-degraded the request, or `cancelled` when a
 //! drain deadline bounded in-flight work.
 //!
-//! Two verbs answer with a *multi-line* block instead of a single line,
-//! each terminated by a `# EOF` line so a client knows where the block
-//! ends: `metrics` (alias `stats/v2`) returns the request-scoped
-//! telemetry registry in Prometheus text exposition format, and
-//! `flightrec` dumps the slow-request flight recorder as one JSON
-//! object per line (see `server::telemetry` and DESIGN.md §12). The
+//! Three verbs answer with a *multi-line* block instead of a single
+//! line, each terminated by a `# EOF` line so a client knows where the
+//! block ends: `metrics` (alias `stats/v2`) returns the request-scoped
+//! telemetry registry in Prometheus text exposition format, `flightrec`
+//! dumps the slow-request flight recorder as one JSON object per line
+//! (see `server::telemetry` and DESIGN.md §12), and `shards` reports
+//! per-shard supervision state (`SHARDS shards=N` followed by one
+//! `shard=<i> …` row per shard; a standalone server reports itself as
+//! its own single shard — see `server::shard` and DESIGN.md §14). The
 //! legacy one-line `stats` remains unchanged.
 
 use presburger_counting::Budgets;
@@ -158,6 +161,9 @@ pub enum Request {
     /// Dump of the slow-request flight recorder, one JSON object per
     /// line. Multi-line, `# EOF` terminated.
     FlightRec,
+    /// Per-shard supervision state (`shards`). Multi-line, `# EOF`
+    /// terminated.
+    Shards,
     /// Graceful drain: stop admitting, finish or bound in-flight work,
     /// emit a final stats line.
     Drain,
@@ -254,6 +260,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "stats" => return Ok(Request::Stats),
         "metrics" | "stats/v2" => return Ok(Request::Metrics),
         "flightrec" => return Ok(Request::FlightRec),
+        "shards" => return Ok(Request::Shards),
         "drain" => return Ok(Request::Drain),
         "count" | "sum" => {}
         other => {
@@ -261,7 +268,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 None,
                 format!(
                     "unknown verb {other:?} (expected count, sum, ping, stats, metrics, \
-                     flightrec or drain)"
+                     flightrec, shards or drain)"
                 ),
             ))
         }
@@ -456,6 +463,7 @@ mod tests {
         assert!(matches!(parse_request("metrics"), Ok(Request::Metrics)));
         assert!(matches!(parse_request("stats/v2"), Ok(Request::Metrics)));
         assert!(matches!(parse_request("flightrec"), Ok(Request::FlightRec)));
+        assert!(matches!(parse_request("shards"), Ok(Request::Shards)));
         assert!(matches!(parse_request("drain"), Ok(Request::Drain)));
     }
 

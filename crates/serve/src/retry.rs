@@ -1,0 +1,140 @@
+//! Client-side retry with deterministic jittered backoff.
+//!
+//! A `SHED` reply is an invitation to come back, not a refusal — but a
+//! thundering herd that comes back in lockstep re-sheds itself forever.
+//! [`submit_with_retry`] sleeps `max(server hint, base·2^attempt)`
+//! scaled by a jitter fraction in `[0.5, 1.0)` that is a *pure function
+//! of the request id and the attempt number* — so stress harnesses and
+//! drills replay the exact same schedule, while distinct requests still
+//! de-correlate.
+
+use crate::shard::{fnv1a, splitmix64};
+use std::thread;
+use std::time::Duration;
+
+/// Retry schedule for [`submit_with_retry`]. `Default`: up to 4
+/// attempts, 10 ms base doubling to a 500 ms cap.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_delay_ms: u64,
+    /// Backoff cap.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt + 1` (0-based `attempt` just
+    /// failed) for request `id`, honoring the server's
+    /// `retry_after_ms` hint as a floor. Deterministic: jitter comes
+    /// from `(id, attempt)`, never a clock or RNG.
+    pub fn backoff(&self, id: &str, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let exp = attempt.min(16);
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_ms);
+        let floor = base.max(hint_ms.unwrap_or(0));
+        // Jitter fraction in [0.5, 1.0): collapse the herd without ever
+        // retrying *before* half the nominal backoff.
+        let r = splitmix64(fnv1a(id.as_bytes()) ^ u64::from(attempt));
+        let frac = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        Duration::from_micros((floor as f64 * 1000.0 * frac) as u64)
+    }
+}
+
+/// The `retry_after_ms=` hint on a `SHED` line, if any.
+pub fn shed_hint_ms(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry_after_ms="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Sends a request via `send` until the reply is not a `SHED`, or the
+/// policy's attempts are exhausted (the last `SHED` line is then
+/// returned — the caller still gets exactly one reply line either way).
+/// Sleeps [`RetryPolicy::backoff`] between attempts.
+pub fn submit_with_retry(
+    policy: &RetryPolicy,
+    id: &str,
+    mut send: impl FnMut() -> String,
+) -> String {
+    let attempts = policy.max_attempts.max(1);
+    let mut line = send();
+    let mut attempt = 0;
+    while line.starts_with("SHED") && attempt + 1 < attempts {
+        thread::sleep(policy.backoff(id, attempt, shed_hint_ms(&line)));
+        line = send();
+        attempt += 1;
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_is_parsed_from_shed_lines() {
+        assert_eq!(
+            shed_hint_ms("SHED q1 retry_after_ms=50 queue_full"),
+            Some(50)
+        );
+        assert_eq!(shed_hint_ms("OK q1 exact 9"), None);
+        assert_eq!(shed_hint_ms("SHED q1 retry_after_ms=zap draining"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let b0 = p.backoff("req-7", 0, Some(20));
+        assert_eq!(b0, p.backoff("req-7", 0, Some(20)));
+        // Floor is max(hint, base): attempt 0 with a 20 ms hint jitters
+        // within [10, 20) ms.
+        assert!(b0 >= Duration::from_millis(10) && b0 < Duration::from_millis(20));
+        // Distinct ids de-correlate (overwhelmingly likely).
+        assert_ne!(p.backoff("req-7", 0, None), p.backoff("req-8", 0, None));
+        // The cap holds at large attempt counts.
+        assert!(p.backoff("req-7", 30, None) < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn retries_until_not_shed() {
+        let mut replies = vec!["OK q1 exact 3", "SHED q1 retry_after_ms=1 queue_full"];
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+        };
+        let line = submit_with_retry(&p, "q1", || replies.pop().expect("enough replies").into());
+        assert_eq!(line, "OK q1 exact 3");
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_with_the_last_shed() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 1,
+        };
+        let mut calls = 0;
+        let line = submit_with_retry(&p, "q1", || {
+            calls += 1;
+            "SHED q1 retry_after_ms=1 queue_full".to_string()
+        });
+        assert_eq!(calls, 2);
+        assert!(line.starts_with("SHED"));
+    }
+}

@@ -28,7 +28,9 @@
 
 use crate::breaker::{Breaker, Plan};
 use crate::cache::ResultCache;
+use crate::chaos::{self, ChaosSite};
 use crate::protocol::{self, err_line, parse_request, shed_line, Query, Request, ServeError, Verb};
+use crate::sync::{lock_ok, wait_ok};
 use crate::telemetry::{RequestTelemetry, Telemetry, TelemetrySettings};
 use presburger_counting::{
     try_sum_polynomial_bounds, try_sum_polynomial_governed, Budgets, CountError, CountOptions,
@@ -91,6 +93,12 @@ pub struct ServeConfig {
     /// Test hook: when set, workers wait on this gate before popping
     /// each job, making queue-full sheds deterministic.
     pub hold: Option<Arc<Gate>>,
+    /// Which shard of a [`crate::shard::ShardPool`] this server is
+    /// (labels chaos injection). `0` for standalone servers.
+    pub shard_index: usize,
+    /// Deterministic chaos injection shared by every shard of a pool
+    /// (see [`crate::chaos`]). `None` = no chaos.
+    pub chaos: Option<Arc<chaos::Chaos>>,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +118,8 @@ impl Default for ServeConfig {
             fault_spec: None,
             telemetry: TelemetrySettings::default(),
             hold: None,
+            shard_index: 0,
+            chaos: None,
         }
     }
 }
@@ -133,25 +143,29 @@ impl Gate {
 
     /// Opens the gate, releasing all waiters.
     pub fn open(&self) {
-        let mut open = self.open.lock().expect("invariant: gate lock unpoisoned");
+        let mut open = lock_ok(&self.open);
         *open = true;
         self.cv.notify_all();
     }
 
     fn wait(&self) {
-        let mut open = self.open.lock().expect("invariant: gate lock unpoisoned");
+        let mut open = lock_ok(&self.open);
         while !*open {
-            open = self.cv.wait(open).expect("invariant: gate lock unpoisoned");
+            open = wait_ok(&self.cv, open);
         }
     }
 }
 
 /// A one-shot response slot: the worker fulfils it, the connection's
-/// writer thread waits on it. Fulfilment is idempotent-by-construction
-/// (exactly one producer per slot).
+/// writer thread waits on it. The consumer reads the line exactly once,
+/// so a duplicate fulfilment (possible when the supervisor re-dispatches
+/// a request whose original worker later finishes anyway) is harmless —
+/// and because replies are pure functions of the query, both producers
+/// publish the identical line.
 pub struct Slot {
     value: Mutex<Option<String>>,
     cv: Condvar,
+    done: AtomicBool,
 }
 
 impl Slot {
@@ -160,6 +174,7 @@ impl Slot {
         Arc::new(Slot {
             value: Mutex::new(None),
             cv: Condvar::new(),
+            done: AtomicBool::new(false),
         })
     }
 
@@ -168,24 +183,32 @@ impl Slot {
         Arc::new(Slot {
             value: Mutex::new(Some(line)),
             cv: Condvar::new(),
+            done: AtomicBool::new(true),
         })
     }
 
     /// Publishes the response line.
     pub fn fulfil(&self, line: String) {
-        let mut v = self.value.lock().expect("invariant: slot lock unpoisoned");
+        let mut v = lock_ok(&self.value);
         *v = Some(line);
+        self.done.store(true, Ordering::Release);
         self.cv.notify_all();
+    }
+
+    /// Whether a response line has been published. The supervisor uses
+    /// this to tell answered requests from orphaned ones.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
     }
 
     /// Blocks until the response line is available.
     pub fn wait(&self) -> String {
-        let mut v = self.value.lock().expect("invariant: slot lock unpoisoned");
+        let mut v = lock_ok(&self.value);
         loop {
             if let Some(line) = v.take() {
                 return line;
             }
-            v = self.cv.wait(v).expect("invariant: slot lock unpoisoned");
+            v = wait_ok(&self.cv, v);
         }
     }
 }
@@ -195,6 +218,23 @@ struct Job {
     slot: Arc<Slot>,
     /// Admission time, for the queue-wait histogram.
     enqueued: Instant,
+}
+
+/// Why [`Handle::try_enqueue`] refused a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Refusal {
+    /// The server is draining (or condemned). The pool treats this as
+    /// "shard going away mid-race" and re-routes instead of shedding.
+    Draining,
+    /// The bounded admission queue is full — genuine backpressure.
+    QueueFull,
+}
+
+/// A refused enqueue: the reason plus the rendered `SHED` line a caller
+/// may deliver (after tallying it via [`Handle::note_shed`]).
+pub(crate) struct Refused {
+    pub reason: Refusal,
+    pub line: String,
 }
 
 /// Atomic server statistics, rendered by `STATS` and the final drain
@@ -235,6 +275,11 @@ impl Stats {
         self.ok.load(Ordering::Relaxed)
     }
 
+    /// `ERR` responses produced.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
     /// Cache hits served.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
@@ -267,6 +312,14 @@ struct Inner {
     cache: Mutex<ResultCache>,
     stats: Stats,
     telemetry: Telemetry,
+    /// Worker threads currently alive. Incremented before each spawn,
+    /// decremented by a drop guard at worker exit — a crashed worker
+    /// (panic past the unwind boundary) shows up as `alive < workers`
+    /// without a drain, which is the supervisor's crash signal.
+    workers_alive: AtomicUsize,
+    /// Bumped on every job pop and completion. A shard with inflight
+    /// work whose heartbeat stops advancing is wedged.
+    heartbeat: AtomicU64,
 }
 
 struct QueueState {
@@ -299,6 +352,9 @@ impl Server {
         // encodings, so they can never go stale (see
         // `presburger_trace::memo`).
         trace::memo::enable_shared(true);
+        if cfg.chaos.is_some() {
+            chaos::install_chaos_hook();
+        }
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
@@ -314,14 +370,28 @@ impl Server {
             cache: Mutex::new(ResultCache::new(cfg.cache_entries, cfg.cache_bytes)),
             stats: Stats::default(),
             telemetry: Telemetry::new(cfg.telemetry.clone()),
+            workers_alive: AtomicUsize::new(0),
+            heartbeat: AtomicU64::new(0),
             cfg,
         });
         let handles = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
+                // Count the worker alive before it runs so a freshly
+                // started (or restarted) server never reads as crashed.
+                inner.workers_alive.fetch_add(1, Ordering::SeqCst);
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || {
+                        struct AliveGuard<'a>(&'a AtomicUsize);
+                        impl Drop for AliveGuard<'_> {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _alive = AliveGuard(&inner.workers_alive);
+                        worker_loop(&inner)
+                    })
                     .expect("invariant: spawning a worker thread cannot fail here")
             })
             .collect();
@@ -349,33 +419,73 @@ impl Server {
         self.inner.telemetry.close_event_log();
         line
     }
+
+    /// Condemns a crashed or wedged server: stops admission, tells the
+    /// workers to exit, and detaches their join handles — a wedged
+    /// worker may never return, and the supervisor must not hang with
+    /// it. In-flight work is deliberately *not* cancelled: an orphaned
+    /// healthy worker that finishes anyway publishes the identical line
+    /// its re-dispatched twin computes (see [`Slot::fulfil`]), while a
+    /// cancelled one would publish a different, racy answer.
+    pub fn abandon(mut self) {
+        {
+            let mut q = lock_ok(&self.inner.queue);
+            q.draining = true;
+            q.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        self.inner.drained.store(true, Ordering::Relaxed);
+        self.workers.drain(..);
+        self.inner.telemetry.close_event_log();
+    }
 }
 
 impl Handle {
     /// Admits a query, or sheds it. Always returns a slot that will be
     /// (or already is) fulfilled with exactly one response line.
     pub fn submit(&self, query: Query) -> Arc<Slot> {
+        let verb = query.verb;
+        let slot = Slot::new();
+        match self.try_enqueue(query, slot.clone()) {
+            Ok(()) => slot,
+            Err(refused) => {
+                self.note_shed(refused.reason, verb);
+                Slot::ready(refused.line)
+            }
+        }
+    }
+
+    /// Re-admits an orphaned query, re-using the caller's existing slot
+    /// so the connection writer waiting on it is none the wiser. Unlike
+    /// [`Handle::submit`], a refusal does **not** touch the slot or the
+    /// shed counters — the supervisor owns the fallback for requests it
+    /// could not place. Returns whether the query was admitted.
+    pub fn resubmit(&self, query: Query, slot: Arc<Slot>) -> bool {
+        self.try_enqueue(query, slot).is_ok()
+    }
+
+    /// Enqueues `(query, slot)` or refuses without touching the slot.
+    /// Refusals are not tallied here: only a shed actually *delivered*
+    /// to a client counts ([`Handle::note_shed`]); the pool re-routes
+    /// mid-restart refusals instead of delivering them.
+    pub(crate) fn try_enqueue(&self, query: Query, slot: Arc<Slot>) -> Result<(), Refused> {
         let inner = &self.inner;
-        let mut q = inner
-            .queue
-            .lock()
-            .expect("invariant: queue lock unpoisoned");
+        let mut q = lock_ok(&inner.queue);
         if q.draining || q.shutdown {
-            inner.stats.bump(&inner.stats.shed_drain);
-            trace::bump(Counter::ServeSheds);
-            inner.telemetry.metrics.observe_shed(req_verb(query.verb));
-            return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "draining"));
+            return Err(Refused {
+                reason: Refusal::Draining,
+                line: shed_line(&query.id, inner.cfg.retry_after_ms, "draining"),
+            });
         }
         if q.jobs.len() >= inner.cfg.queue_depth {
-            inner.stats.bump(&inner.stats.shed_queue);
-            trace::bump(Counter::ServeSheds);
-            inner.telemetry.metrics.observe_shed(req_verb(query.verb));
-            return Slot::ready(shed_line(&query.id, inner.cfg.retry_after_ms, "queue_full"));
+            return Err(Refused {
+                reason: Refusal::QueueFull,
+                line: shed_line(&query.id, inner.cfg.retry_after_ms, "queue_full"),
+            });
         }
-        let slot = Slot::new();
         q.jobs.push_back(Job {
             query,
-            slot: slot.clone(),
+            slot,
             enqueued: Instant::now(),
         });
         let depth = q.jobs.len() as u64;
@@ -388,7 +498,18 @@ impl Handle {
         trace::bump(Counter::ServeRequests);
         drop(q);
         inner.queue_cv.notify_one();
-        slot
+        Ok(())
+    }
+
+    /// Tallies a shed that was actually delivered to a client.
+    pub(crate) fn note_shed(&self, reason: Refusal, verb: Verb) {
+        let inner = &self.inner;
+        match reason {
+            Refusal::Draining => inner.stats.bump(&inner.stats.shed_drain),
+            Refusal::QueueFull => inner.stats.bump(&inner.stats.shed_queue),
+        }
+        trace::bump(Counter::ServeSheds);
+        inner.telemetry.metrics.observe_shed(req_verb(verb));
     }
 
     /// Gracefully drains the server: stops admitting, waits for queued
@@ -399,10 +520,7 @@ impl Handle {
     pub fn drain(&self) -> String {
         let inner = &self.inner;
         {
-            let mut q = inner
-                .queue
-                .lock()
-                .expect("invariant: queue lock unpoisoned");
+            let mut q = lock_ok(&inner.queue);
             if q.draining {
                 // Someone else is draining; fall through to wait below.
             } else {
@@ -428,10 +546,7 @@ impl Handle {
             }
         }
         {
-            let mut q = inner
-                .queue
-                .lock()
-                .expect("invariant: queue lock unpoisoned");
+            let mut q = lock_ok(&inner.queue);
             q.shutdown = true;
         }
         inner.queue_cv.notify_all();
@@ -440,27 +555,15 @@ impl Handle {
     }
 
     fn idle(&self) -> bool {
-        let q = self
-            .inner
-            .queue
-            .lock()
-            .expect("invariant: queue lock unpoisoned");
+        let q = lock_ok(&self.inner.queue);
         q.jobs.is_empty() && self.inner.inflight.load(Ordering::Relaxed) == 0
     }
 
     /// The `STATS` line: space-separated `key=value` counters.
     pub fn stats_line(&self) -> String {
         let s = &self.inner.stats;
-        let breaker = self
-            .inner
-            .breaker
-            .lock()
-            .expect("invariant: breaker lock unpoisoned");
-        let cache = self
-            .inner
-            .cache
-            .lock()
-            .expect("invariant: cache lock unpoisoned");
+        let breaker = lock_ok(&self.inner.breaker);
+        let cache = lock_ok(&self.inner.cache);
         format!(
             "STATS admitted={} ok={} errors={} shed_queue={} shed_drain={} \
              cache_hits={} cache_misses={} cache_entries={} verify_mismatches={} \
@@ -509,6 +612,32 @@ impl Handle {
     pub fn is_drained(&self) -> bool {
         self.inner.drained.load(Ordering::Relaxed)
     }
+
+    /// Worker threads currently alive (supervisor health probe).
+    pub fn workers_alive(&self) -> usize {
+        self.inner.workers_alive.load(Ordering::SeqCst)
+    }
+
+    /// Worker threads this server was configured with.
+    pub fn expected_workers(&self) -> usize {
+        self.inner.cfg.workers.max(1)
+    }
+
+    /// Monotone worker progress counter (bumped on every job pop and
+    /// completion). Stalls with inflight work mean a wedge.
+    pub fn heartbeat(&self) -> u64 {
+        self.inner.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently being processed by workers.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Jobs waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        lock_ok(&self.inner.queue).jobs.len()
+    }
 }
 
 /// Maps a protocol verb to its telemetry label.
@@ -527,10 +656,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             gate.wait();
         }
         let job = {
-            let mut q = inner
-                .queue
-                .lock()
-                .expect("invariant: queue lock unpoisoned");
+            let mut q = lock_ok(&inner.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -538,13 +664,39 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if q.shutdown {
                     return;
                 }
-                q = inner
-                    .queue_cv
-                    .wait(q)
-                    .expect("invariant: queue lock unpoisoned");
+                q = wait_ok(&inner.queue_cv, q);
             }
         };
         inner.inflight.fetch_add(1, Ordering::Relaxed);
+        inner.heartbeat.fetch_add(1, Ordering::Relaxed);
+        // Chaos fires here — after the pop, before the unwind boundary,
+        // with no lock held. A `kill` therefore never poisons a lock
+        // (drill metrics stay clean) and the held job is provably
+        // unanswered, which is exactly what the supervisor must recover.
+        if let Some(site) = inner
+            .cfg
+            .chaos
+            .as_ref()
+            .and_then(|c| c.on_job(inner.cfg.shard_index))
+        {
+            match site {
+                ChaosSite::Delay => thread::sleep(Duration::from_millis(40)),
+                ChaosSite::Kill => std::panic::panic_any(chaos::ChaosKill),
+                ChaosSite::Wedge => {
+                    // Stall with the job held and the heartbeat frozen —
+                    // what a livelocked worker looks like from outside.
+                    // Exit (dropping the job) once the shard is
+                    // condemned or drained.
+                    loop {
+                        if lock_ok(&inner.queue).shutdown {
+                            inner.inflight.fetch_sub(1, Ordering::Relaxed);
+                            return;
+                        }
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        }
         let queue_wait = job.enqueued.elapsed();
         let baseline = inner.telemetry.counter_baseline();
         let started = Instant::now();
@@ -584,6 +736,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 spans,
             });
         }
+        inner.heartbeat.fetch_add(1, Ordering::Relaxed);
         inner.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -685,12 +838,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
         }
     }
 
-    if let Some((payload, ordinal)) = inner
-        .cache
-        .lock()
-        .expect("invariant: cache lock unpoisoned")
-        .get(&cache_key)
-    {
+    if let Some((payload, ordinal)) = lock_ok(&inner.cache).get(&cache_key) {
         inner.stats.bump(&inner.stats.cache_hits);
         trace::bump(Counter::ServeCacheHits);
         let verify = matches!(inner.cfg.verify_every, Some(n) if n > 0 && ordinal % n == 0);
@@ -712,11 +860,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
             eprintln!(
                 "serve: CACHE VERIFY MISMATCH for request {id}: cached {payload:?} vs recomputed {fresh:?}"
             );
-            inner
-                .cache
-                .lock()
-                .expect("invariant: cache lock unpoisoned")
-                .put(&cache_key, &fresh);
+            lock_ok(&inner.cache).put(&cache_key, &fresh);
         }
         inner.stats.bump(&inner.stats.ok);
         return Reply {
@@ -734,11 +878,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
     let engine = engine_start.elapsed();
     let (line, outcome) = match outcome {
         ComputeOutcome::Exact => {
-            inner
-                .cache
-                .lock()
-                .expect("invariant: cache lock unpoisoned")
-                .put(&cache_key, &payload);
+            lock_ok(&inner.cache).put(&cache_key, &payload);
             inner.stats.bump(&inner.stats.ok);
             (format!("OK {id} {payload}"), ReqOutcome::Ok)
         }
@@ -778,11 +918,7 @@ fn compute(
     poly: &QPoly,
 ) -> (String, ComputeOutcome) {
     let id = &query.id;
-    let plan = inner
-        .breaker
-        .lock()
-        .expect("invariant: breaker lock unpoisoned")
-        .plan(Instant::now());
+    let plan = lock_ok(&inner.breaker).plan(Instant::now());
 
     let opts = CountOptions {
         threads: query.overrides.threads.unwrap_or(1),
@@ -840,20 +976,12 @@ fn compute(
                 ..
             })
     );
-    inner
-        .breaker
-        .lock()
-        .expect("invariant: breaker lock unpoisoned")
-        .record(plan, failure, Instant::now());
+    lock_ok(&inner.breaker).record(plan, failure, Instant::now());
     if failure {
-        inner.stats.breaker_opens.store(
-            inner
-                .breaker
-                .lock()
-                .expect("invariant: breaker lock unpoisoned")
-                .opens(),
-            Ordering::Relaxed,
-        );
+        inner
+            .stats
+            .breaker_opens
+            .store(lock_ok(&inner.breaker).opens(), Ordering::Relaxed);
     }
 
     match result {
@@ -923,13 +1051,119 @@ fn bounds(
     }
 }
 
+/// The supervisor's terminal fallback for an orphaned request no shard
+/// could take: a fresh budgeted §4.6 bound pass (`OK … bounded failover
+/// lo ; hi`) or an `ERR` — never silence. Self-contained (no server
+/// state) because the shard that admitted the request is gone.
+pub(crate) fn fallback_reply(
+    query: &Query,
+    default_budgets: &Budgets,
+    default_deadline_ms: Option<u64>,
+) -> String {
+    let id = &query.id;
+    let mut space = Space::new();
+    for v in &query.vars {
+        space.var(v);
+    }
+    let formula = match parse_formula(&query.formula_text, &mut space) {
+        Ok(f) => f,
+        Err(e) => return err_line(id, "parse", &e.to_string()),
+    };
+    let poly = match &query.poly_text {
+        None => QPoly::one(),
+        Some(text) => match parse_affine(text, &mut space) {
+            Ok(a) => QPoly::from_affine(&a),
+            Err(e) => return err_line(id, "parse", &format!("in polynomial: {e}")),
+        },
+    };
+    let vars: Vec<_> = query
+        .vars
+        .iter()
+        .map(|v| {
+            space
+                .lookup(v)
+                .expect("invariant: counted variables were interned above")
+        })
+        .collect();
+    let opts = CountOptions {
+        threads: query.overrides.threads.unwrap_or(1),
+        ..CountOptions::default()
+    };
+    let mut budgets = query.overrides.budgets(default_budgets);
+    if budgets.deadline.is_none() {
+        budgets.deadline = default_deadline_ms.map(Duration::from_millis);
+    }
+    match bounds(&space, &formula, &vars, &poly, &opts, budgets) {
+        Ok((lo, hi)) => format!(
+            "OK {id} bounded failover {} ; {}",
+            protocol::sanitize(&lo),
+            protocol::sanitize(&hi)
+        ),
+        Err(e) => err_line(id, e.kind(), &e.to_string()),
+    }
+}
+
+/// What a connection driver needs from the thing answering requests.
+/// Implemented by the single-server [`Handle`] and the shard pool's
+/// [`crate::shard::PoolHandle`], so every front-end (stdio, TCP,
+/// in-process harnesses) works unchanged against either.
+pub trait Service: Clone + Send + Sync + 'static {
+    /// Admits or sheds a query; the returned slot is (or will be)
+    /// fulfilled with exactly one response line.
+    fn submit(&self, query: Query) -> Arc<Slot>;
+    /// Gracefully drains; returns the final stats line.
+    fn drain(&self) -> String;
+    /// The `stats` verb's one-line reply.
+    fn stats_line(&self) -> String;
+    /// The `metrics` verb's Prometheus exposition, `# EOF` terminated.
+    fn metrics_text(&self) -> String;
+    /// The `flightrec` verb's dump, `# EOF` terminated.
+    fn flight_dump(&self) -> String;
+    /// The `shards` verb's health/topology block, `# EOF` terminated.
+    fn shards_text(&self) -> String;
+    /// Whether a drain has completed.
+    fn is_drained(&self) -> bool;
+}
+
+impl Service for Handle {
+    fn submit(&self, query: Query) -> Arc<Slot> {
+        Handle::submit(self, query)
+    }
+    fn drain(&self) -> String {
+        Handle::drain(self)
+    }
+    fn stats_line(&self) -> String {
+        Handle::stats_line(self)
+    }
+    fn metrics_text(&self) -> String {
+        Handle::metrics_text(self)
+    }
+    fn flight_dump(&self) -> String {
+        Handle::flight_dump(self)
+    }
+    fn shards_text(&self) -> String {
+        // A standalone server is its own single shard.
+        format!(
+            "SHARDS shards=1\nshard=0 state=standalone epoch=0 workers={} alive={} \
+             inflight={} queued={}\n# EOF",
+            self.expected_workers(),
+            self.workers_alive(),
+            self.inflight(),
+            self.queued(),
+        )
+    }
+    fn is_drained(&self) -> bool {
+        Handle::is_drained(self)
+    }
+}
+
 /// Serves one connection: reads newline-delimited requests from
 /// `reader`, answers each with exactly one line on `writer`, in request
 /// order. Returns after `drain` (server-wide) or EOF; when
 /// `drain_on_eof` is set, EOF triggers a server drain and the final
 /// stats line is emitted before returning.
-pub fn serve_connection(
-    handle: &Handle,
+pub fn serve_connection<S: Service>(
+    handle: &S,
     reader: impl BufRead,
     mut writer: impl Write + Send + 'static,
     drain_on_eof: bool,
@@ -974,6 +1208,7 @@ pub fn serve_connection(
             Ok(Request::Stats) => Slot::ready(handle.stats_line()),
             Ok(Request::Metrics) => Slot::ready(handle.metrics_text()),
             Ok(Request::FlightRec) => Slot::ready(handle.flight_dump()),
+            Ok(Request::Shards) => Slot::ready(handle.shards_text()),
             Ok(Request::Drain) => {
                 saw_drain = true;
                 let stats = handle.drain();
@@ -1060,16 +1295,9 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, handle: Handle) {
+pub(crate) fn accept_loop<S: Service>(listener: TcpListener, handle: S) {
     loop {
-        if handle.is_drained()
-            || handle
-                .inner
-                .queue
-                .lock()
-                .expect("invariant: queue lock unpoisoned")
-                .shutdown
-        {
+        if handle.is_drained() {
             return;
         }
         match listener.accept() {
@@ -1089,13 +1317,13 @@ fn accept_loop(listener: TcpListener, handle: Handle) {
     }
 }
 
-fn serve_tcp_connection(handle: &Handle, stream: TcpStream) -> Result<(), ServeError> {
+fn serve_tcp_connection<S: Service>(handle: &S, stream: TcpStream) -> Result<(), ServeError> {
     stream.set_nonblocking(false)?;
     let reader = std::io::BufReader::new(stream.try_clone()?);
     serve_connection(handle, reader, stream, false)
 }
 
-fn validate(cfg: &ServeConfig) -> Result<(), ServeError> {
+pub(crate) fn validate(cfg: &ServeConfig) -> Result<(), ServeError> {
     if cfg.queue_depth == 0 {
         return Err(ServeError::Config("queue_depth must be at least 1".into()));
     }

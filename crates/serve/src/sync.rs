@@ -1,0 +1,54 @@
+//! Poison-tolerant lock helpers for the serving layer.
+//!
+//! Every mutex in this crate guards data whose invariants hold at all
+//! times except *inside* a critical section, and the critical sections
+//! never leave partial state behind on unwind (pushes/pops/counter
+//! stores are each all-or-nothing). A panic under a held lock — a
+//! chaos `kill`, a bug in a worker — therefore poisons the lock without
+//! corrupting the data, and refusing to ever take it again would wedge
+//! the whole server to punish one dead request. These helpers take the
+//! lock anyway and tally the recovery
+//! ([`trace::shard::note_lock_recovered`], surfaced as
+//! `presburger_serve_lock_recovered_total` and the
+//! `serve_lock_recovered` pipeline counter).
+
+use presburger_trace as trace;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// `m.lock()`, recovering (and tallying) a poisoned lock.
+pub(crate) fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| {
+        trace::shard::note_lock_recovered();
+        e.into_inner()
+    })
+}
+
+/// `cv.wait(guard)`, recovering (and tallying) a poisoned lock.
+pub(crate) fn wait_ok<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| {
+        trace::shard::note_lock_recovered();
+        e.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_tallied() {
+        let m = Mutex::new(7u32);
+        let before = trace::shard::lock_recovered_total();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_ok(&m), 7);
+        assert!(trace::shard::lock_recovered_total() > before);
+        // And again: recovery does not un-poison, but keeps working.
+        *lock_ok(&m) = 9;
+        assert_eq!(*lock_ok(&m), 9);
+    }
+}

@@ -26,6 +26,7 @@
 //! byte, so golden-transcript replay stays byte-identical with all of
 //! it enabled (`serve_stress` phase 1 runs with the defaults on).
 
+use crate::sync::lock_ok;
 use presburger_trace::metrics::{ReqOutcome, ReqVerb, RequestMetrics, RequestObservation};
 use presburger_trace::{self as trace, json::JsonObject, PipelineStats, SpanTree};
 use std::collections::VecDeque;
@@ -309,10 +310,7 @@ impl Telemetry {
                     .unwrap_or_default(),
                 spans_json: telem.spans.as_ref().map(SpanTree::to_json),
             };
-            let mut ring = self
-                .flight
-                .lock()
-                .expect("invariant: flight-recorder lock unpoisoned");
+            let mut ring = lock_ok(&self.flight);
             if ring.len() >= self.settings.flight_records {
                 ring.pop_front();
             }
@@ -352,12 +350,7 @@ impl Telemetry {
 
     /// The current flight-recorder contents, oldest first.
     pub fn flight_records(&self) -> Vec<FlightRecord> {
-        self.flight
-            .lock()
-            .expect("invariant: flight-recorder lock unpoisoned")
-            .iter()
-            .cloned()
-            .collect()
+        lock_ok(&self.flight).iter().cloned().collect()
     }
 
     /// The `flightrec` verb's reply: one JSON object per record, `# EOF`
@@ -448,10 +441,7 @@ impl EventLog {
     /// when the writer is backed up or closed (the caller counts the
     /// drop).
     pub fn try_log(&self, line: String) -> bool {
-        let tx = self
-            .tx
-            .lock()
-            .expect("invariant: event-log lock unpoisoned");
+        let tx = lock_ok(&self.tx);
         match tx.as_ref() {
             Some(tx) => tx.try_send(line).is_ok(),
             None => false,
@@ -461,15 +451,8 @@ impl EventLog {
     /// Closes the channel and joins the writer, guaranteeing every
     /// accepted line is flushed. Idempotent.
     pub fn close(&self) {
-        self.tx
-            .lock()
-            .expect("invariant: event-log lock unpoisoned")
-            .take();
-        let handle = self
-            .writer
-            .lock()
-            .expect("invariant: event-log lock unpoisoned")
-            .take();
+        lock_ok(&self.tx).take();
+        let handle = lock_ok(&self.writer).take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }

@@ -15,9 +15,13 @@
 
 use presburger_counting::Budgets;
 use presburger_serve::server::Gate;
-use presburger_serve::{ServeConfig, TcpServer};
+use presburger_serve::{
+    parse_request, routing_hash, Chaos, PoolTcpServer, Request, RetryPolicy, Ring, ServeConfig,
+    ShardPoolConfig, TcpServer,
+};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One scripted step: a request line and how many response lines to
@@ -110,7 +114,7 @@ OK c4 exact (\u{3a3} : n - 1 >= 0 : n)\n\
 OK c5 exact 9\n\
 OK c6 bounded budget 25 ; 25\n\
 ERR c7 unbounded summation variable x is unbounded\n\
-ERR - protocol unknown verb \"zap\" (expected count, sum, ping, stats, metrics, flightrec or drain)\n\
+ERR - protocol unknown verb \"zap\" (expected count, sum, ping, stats, metrics, flightrec, shards or drain)\n\
 ERR c9 parse parse error at line 1, column 6: expected a term\n\
 ERR - protocol missing request id\n\
 STATS admitted=8 ok=6 errors=2 shed_queue=0 shed_drain=0 cache_hits=1 cache_misses=6 cache_entries=4 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
@@ -272,6 +276,203 @@ BYE\n";
         &response,
         "SHED late retry_after_ms=50 reason=draining\n",
     );
+    server.shutdown();
+}
+
+/// Deterministic pool config: two shards of [`base_cfg`] servers, a
+/// fast supervisor, and a long rescue deadline so the sessions exercise
+/// re-dispatch (not the §4.6 fallback).
+fn pool_base_cfg() -> ShardPoolConfig {
+    ShardPoolConfig {
+        shards: 2,
+        shard_cfg: base_cfg(),
+        probe_interval_ms: 2,
+        restart_backoff_ms: 10,
+        rescue_after_ms: 60_000,
+        ..ShardPoolConfig::default()
+    }
+}
+
+/// The shard a request line routes to at 2 shards (for arming chaos on
+/// exactly the shard that will pop it).
+fn routed_shard(line: &str) -> usize {
+    match parse_request(line).expect("parse") {
+        Request::Query(q) => Ring::new(2, 64).route(routing_hash(&q)),
+        _ => unreachable!(),
+    }
+}
+
+/// One interactive pool session: sends each `(line, await_n)` step,
+/// sleeping `settle_ms` *before* any step whose line is `"shards"` so
+/// the supervisor's restart has landed and the health block is settled.
+fn run_pool_session(cfg: ShardPoolConfig, steps: &[Step], settle_ms: u64) -> String {
+    let server = PoolTcpServer::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect loopback");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut transcript = String::new();
+    for Step(line, await_n) in steps {
+        if *line == "shards" {
+            std::thread::sleep(Duration::from_millis(settle_ms));
+        }
+        writeln!(stream, "{line}").expect("write request");
+        stream.flush().expect("flush request");
+        for _ in 0..*await_n {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            transcript.push_str(&response);
+        }
+    }
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read to EOF");
+    transcript.push_str(&rest);
+    server.shutdown();
+    transcript
+}
+
+/// The expected post-chaos `shards` block plus tail for a 2-shard
+/// session where `armed` was condemned once (`crashes`/`wedges` per
+/// `condemned_as`), its request re-dispatched to the sibling, and one
+/// follow-up request served by the replacement. The armed index is
+/// computed from the routing hash at test time — deterministic, but not
+/// worth baking into the literal.
+fn failover_want(first_reply: &str, armed: usize, condemned_as: &str, last_reply: &str) -> String {
+    let (crashes, wedges) = match condemned_as {
+        "crash" => (1, 0),
+        "wedge" => (0, 1),
+        other => panic!("unknown condemnation {other:?}"),
+    };
+    let mut rows = String::new();
+    for i in 0..2 {
+        if i == armed {
+            rows.push_str(&format!(
+                "shard={i} state=healthy epoch=1 workers=1 alive=1 inflight=0 queued=0 \
+                 routed=1 redispatched=1 rescued=0 restarts=1 crashes={crashes} wedges={wedges} \
+                 admitted=0 ok=0 errors=0\n"
+            ));
+        } else {
+            rows.push_str(&format!(
+                "shard={i} state=healthy epoch=0 workers=1 alive=1 inflight=0 queued=0 \
+                 routed=0 redispatched=0 rescued=0 restarts=0 crashes=0 wedges=0 \
+                 admitted=1 ok=1 errors=0\n"
+            ));
+        }
+    }
+    format!(
+        "{first_reply}\n\
+         SHARDS shards=2\n\
+         {rows}\
+         # EOF\n\
+         {last_reply}\n\
+         STATS shards=2 admitted=2 ok=2 errors=0 sheds=0 cache_hits=0 redispatched=1 \
+         rescued=0 restarts=1\n\
+         BYE\n"
+    )
+}
+
+#[test]
+fn golden_shard_kill_failover_session() {
+    // Chaos kills the armed shard's worker on its first pop — while it
+    // holds k1. The supervisor detects the crash, re-dispatches k1 to
+    // the sibling (exact answer, not a fallback bound), restarts the
+    // shard (epoch=1), and a repeat of the same formula is served by
+    // the replacement. Nothing in the transcript is lost or degraded.
+    let k1 = "count k1 {x : 1 <= x <= 9}";
+    let armed = routed_shard(k1);
+    let cfg = ShardPoolConfig {
+        chaos: Some(Arc::new(
+            Chaos::parse(&format!("kill:{armed}:1")).expect("chaos spec"),
+        )),
+        ..pool_base_cfg()
+    };
+    let steps = [
+        Step(k1, 1),
+        Step("shards", 4),
+        Step("count k3 {x : 1 <= x <= 9}", 1),
+        Step("drain", 0),
+    ];
+    let got = run_pool_session(cfg, &steps, 400);
+    let want = failover_want("OK k1 exact 9", armed, "crash", "OK k3 exact 9");
+    check("shard-kill-failover", &got, &want);
+}
+
+#[test]
+fn golden_shard_wedge_restart_session() {
+    // Chaos wedges the armed shard's worker on its first pop: the
+    // heartbeat freezes with w1 in flight, the supervisor condemns the
+    // shard after wedge_timeout, re-dispatches w1 to the sibling and
+    // restarts the shard. The client just sees its answer arrive.
+    let w1 = "count w1 {x : 2 <= x <= 9}";
+    let armed = routed_shard(w1);
+    let cfg = ShardPoolConfig {
+        wedge_timeout_ms: 150,
+        chaos: Some(Arc::new(
+            Chaos::parse(&format!("wedge:{armed}:1")).expect("chaos spec"),
+        )),
+        ..pool_base_cfg()
+    };
+    let steps = [
+        Step(w1, 1),
+        Step("shards", 4),
+        Step("count w3 {x : 2 <= x <= 9}", 1),
+        Step("drain", 0),
+    ];
+    let got = run_pool_session(cfg, &steps, 400);
+    let want = failover_want("OK w1 exact 8", armed, "wedge", "OK w3 exact 8");
+    check("shard-wedge-restart", &got, &want);
+}
+
+#[test]
+fn retry_helper_rides_out_queue_full_sheds() {
+    // A 1-deep queue behind a closed gate sheds the second pipelined
+    // request; `submit_with_retry` re-sends it after the jittered
+    // backoff and — once the gate opens — lands the exact answer. The
+    // client keeps the exactly-one-reply invariant from its own side.
+    let gate = Gate::new(true);
+    let cfg = ServeConfig {
+        queue_depth: 1,
+        hold: Some(gate.clone()),
+        ..base_cfg()
+    };
+    let server = presburger_serve::Server::start(cfg);
+    let handle = server.handle();
+    let submit = |line: &str| match parse_request(line).expect("parse") {
+        Request::Query(q) => handle.submit(q).wait(),
+        _ => unreachable!(),
+    };
+    // Fill the queue while the gate is shut.
+    let held = match parse_request("count h1 {x : 1 <= x <= 3}").expect("parse") {
+        Request::Query(q) => handle.submit(q),
+        _ => unreachable!(),
+    };
+    assert!(!held.is_done(), "h1 must be queued behind the gate");
+    // A plain submit sheds...
+    assert_eq!(
+        submit("count h2 {x : 1 <= x <= 3}"),
+        "SHED h2 retry_after_ms=50 reason=queue_full"
+    );
+    // ...while the retry helper opens the gate mid-backoff and lands.
+    let opener = std::thread::spawn({
+        let gate = gate.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(30));
+            gate.open();
+        }
+    });
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_delay_ms: 20,
+        max_delay_ms: 100,
+    };
+    let mut attempts = 0;
+    let line = presburger_serve::submit_with_retry(&policy, "h3", || {
+        attempts += 1;
+        submit("count h3 {x : 1 <= x <= 3}")
+    });
+    assert_eq!(line, "OK h3 exact 3");
+    assert!(attempts > 1, "the first attempt must have shed");
+    opener.join().expect("opener");
+    assert_eq!(held.wait(), "OK h1 exact 3");
     server.shutdown();
 }
 

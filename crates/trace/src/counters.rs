@@ -143,6 +143,10 @@ counters! {
     /// Deepest admission-queue depth observed by the serving layer
     /// (gauge).
     ServeQueueDepthPeak => "serve_queue_depth_peak" / gauge,
+    /// Poisoned locks recovered by the serving layer instead of
+    /// propagating the poison (a worker panic under a held lock costs
+    /// one request, never the lock).
+    ServeLockRecovered => "serve_lock_recovered" / count,
     /// Sub-problem memo-table hits (eliminate / Faulhaber / Smith).
     /// Hit counts legitimately vary with thread count and cache
     /// warmth; determinism gates must mask them (the replayed counter

@@ -45,6 +45,7 @@ pub mod govern;
 pub mod json;
 pub mod memo;
 pub mod metrics;
+pub mod shard;
 pub mod span;
 
 pub use counters::{Counter, PipelineStats};

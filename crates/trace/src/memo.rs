@@ -150,6 +150,20 @@ fn shared() -> &'static RwLock<Table> {
     SHARED.get_or_init(|| RwLock::new(Table::default()))
 }
 
+fn read_shared() -> std::sync::RwLockReadGuard<'static, Table> {
+    shared().read().unwrap_or_else(|e| {
+        crate::shard::note_lock_recovered();
+        e.into_inner()
+    })
+}
+
+fn write_shared() -> std::sync::RwLockWriteGuard<'static, Table> {
+    shared().write().unwrap_or_else(|e| {
+        crate::shard::note_lock_recovered();
+        e.into_inner()
+    })
+}
+
 /// Turns the process-wide shared tier on or off (the serving layer
 /// enables it at server start so hits survive across requests and
 /// worker threads). The local tier works either way.
@@ -195,7 +209,7 @@ pub fn lookup(domain: MemoDomain, key_bytes: &[u8]) -> Option<MemoValue> {
     }
     if shared_enabled() {
         let shared_hit = {
-            let guard = shared().read().unwrap_or_else(|e| e.into_inner());
+            let guard = read_shared();
             guard.map.get(&probe).cloned()
         };
         if let Some(entry) = shared_hit {
@@ -357,7 +371,7 @@ pub fn record(
         note_local_bytes(t.bytes);
     });
     if shared_enabled() {
-        let mut guard = shared().write().unwrap_or_else(|e| e.into_inner());
+        let mut guard = write_shared();
         guard.insert(key, entry, SHARED_MAX_ENTRIES, SHARED_MAX_BYTES);
         SHARED_BYTES.store(guard.bytes as u64, Ordering::Relaxed);
         SHARED_ENTRIES.store(guard.map.len() as u64, Ordering::Relaxed);
@@ -547,7 +561,7 @@ pub fn clear_local() {
 
 /// Empties the shared tier.
 pub fn clear_shared() {
-    let mut guard = shared().write().unwrap_or_else(|e| e.into_inner());
+    let mut guard = write_shared();
     guard.map.clear();
     guard.bytes = 0;
     SHARED_BYTES.store(0, Ordering::Relaxed);

@@ -1,0 +1,206 @@
+//! Shard-labeled supervision metrics for the serving layer.
+//!
+//! The shard pool (`presburger-serve`'s `serve::shard`) runs N internal
+//! server instances behind a consistent-hash router and a supervisor.
+//! Each shard owns one [`ShardRow`] of relaxed atomics; the pool renders
+//! them as `presburger_shard_*` Prometheus counter families labeled by
+//! shard index. Rows are owned by their pool (no global registry), so
+//! concurrent pools — common in tests — never observe each other.
+//!
+//! The module also hosts the process-wide poisoned-lock recovery tally
+//! ([`note_lock_recovered`]): recoveries can happen on any thread,
+//! including ones with counter collection off, so the serving layer
+//! keeps an always-on atomic alongside the thread-local
+//! [`Counter::ServeLockRecovered`](crate::Counter::ServeLockRecovered).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LOCK_RECOVERED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one poisoned-lock recovery: bumps the process-wide tally and
+/// the thread-local [`Counter::ServeLockRecovered`](crate::Counter::ServeLockRecovered)
+/// (the latter only where collection is enabled).
+pub fn note_lock_recovered() {
+    LOCK_RECOVERED.fetch_add(1, Ordering::Relaxed);
+    crate::bump(crate::Counter::ServeLockRecovered);
+}
+
+/// Total poisoned-lock recoveries since process start.
+pub fn lock_recovered_total() -> u64 {
+    LOCK_RECOVERED.load(Ordering::Relaxed)
+}
+
+/// Per-shard supervision counters (relaxed atomics, owned by the pool).
+#[derive(Debug, Default)]
+pub struct ShardRow {
+    /// Requests the router sent to this shard (including failover
+    /// admissions when the hashed-to shard was restarting).
+    pub routed: AtomicU64,
+    /// Admitted-but-unanswered requests moved off this shard to a
+    /// sibling after the shard was condemned.
+    pub redispatched: AtomicU64,
+    /// Orphaned requests answered by the supervisor's budgeted-bounds
+    /// fallback because no sibling could take them in time.
+    pub rescued: AtomicU64,
+    /// Replacement servers started for this shard.
+    pub restarts: AtomicU64,
+    /// Crashed-shard detections (worker threads lost without a drain).
+    pub crashes: AtomicU64,
+    /// Wedged-shard detections (heartbeat stalled with work in flight).
+    pub wedges: AtomicU64,
+}
+
+impl ShardRow {
+    /// A zeroed row.
+    pub fn new() -> ShardRow {
+        ShardRow::default()
+    }
+
+    /// Adds 1 to `field` (any of the row's atomics).
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An owned copy of the row's current values.
+    pub fn snapshot(&self) -> ShardRowSnapshot {
+        ShardRowSnapshot {
+            routed: self.routed.load(Ordering::Relaxed),
+            redispatched: self.redispatched.load(Ordering::Relaxed),
+            rescued: self.rescued.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            wedges: self.wedges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, copyable snapshot of a [`ShardRow`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRowSnapshot {
+    /// See [`ShardRow::routed`].
+    pub routed: u64,
+    /// See [`ShardRow::redispatched`].
+    pub redispatched: u64,
+    /// See [`ShardRow::rescued`].
+    pub rescued: u64,
+    /// See [`ShardRow::restarts`].
+    pub restarts: u64,
+    /// See [`ShardRow::crashes`].
+    pub crashes: u64,
+    /// See [`ShardRow::wedges`].
+    pub wedges: u64,
+}
+
+/// The `presburger_shard_*` Prometheus counter families for one pool's
+/// rows (one sample per shard, labeled `shard="<index>"`), plus the
+/// process-wide `presburger_serve_lock_recovered_total`. Stable order:
+/// families in declaration order, shards in index order. No trailing
+/// `# EOF` — the protocol layer appends it.
+pub fn render_prometheus(rows: &[ShardRowSnapshot]) -> String {
+    type Field = fn(&ShardRowSnapshot) -> u64;
+    const FAMILIES: [(&str, &str, Field); 6] = [
+        (
+            "presburger_shard_routed_total",
+            "Requests routed to the shard.",
+            |r| r.routed,
+        ),
+        (
+            "presburger_shard_redispatched_total",
+            "Admitted requests re-dispatched to a sibling after shard failure.",
+            |r| r.redispatched,
+        ),
+        (
+            "presburger_shard_rescued_total",
+            "Orphaned requests answered by the budgeted-bounds fallback.",
+            |r| r.rescued,
+        ),
+        (
+            "presburger_shard_restarts_total",
+            "Replacement servers started by the supervisor.",
+            |r| r.restarts,
+        ),
+        (
+            "presburger_shard_crashes_total",
+            "Crashed-shard detections (worker threads lost).",
+            |r| r.crashes,
+        ),
+        (
+            "presburger_shard_wedges_total",
+            "Wedged-shard detections (heartbeat stall with work in flight).",
+            |r| r.wedges,
+        ),
+    ];
+    let mut out = String::new();
+    for (name, help, get) in FAMILIES {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(help);
+        out.push_str("\n# TYPE ");
+        out.push_str(name);
+        out.push_str(" counter\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(name);
+            out.push_str("{shard=\"");
+            out.push_str(&i.to_string());
+            out.push_str("\"} ");
+            out.push_str(&get(row).to_string());
+            out.push('\n');
+        }
+    }
+    out.push_str(
+        "# HELP presburger_serve_lock_recovered_total \
+         Poisoned locks recovered by the serving layer.\n\
+         # TYPE presburger_serve_lock_recovered_total counter\n",
+    );
+    out.push_str("presburger_serve_lock_recovered_total ");
+    out.push_str(&lock_recovered_total().to_string());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_bumps() {
+        let row = ShardRow::new();
+        ShardRow::bump(&row.routed);
+        ShardRow::bump(&row.routed);
+        ShardRow::bump(&row.restarts);
+        let s = row.snapshot();
+        assert_eq!(s.routed, 2);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.redispatched, 0);
+    }
+
+    #[test]
+    fn exposition_labels_every_shard_in_order() {
+        let a = ShardRowSnapshot {
+            routed: 3,
+            ..Default::default()
+        };
+        let b = ShardRowSnapshot {
+            routed: 5,
+            redispatched: 1,
+            ..Default::default()
+        };
+        let text = render_prometheus(&[a, b]);
+        let routed0 = text.find("presburger_shard_routed_total{shard=\"0\"} 3");
+        let routed1 = text.find("presburger_shard_routed_total{shard=\"1\"} 5");
+        assert!(routed0.is_some() && routed1.is_some(), "text was: {text}");
+        assert!(routed0 < routed1);
+        assert!(text.contains("presburger_shard_redispatched_total{shard=\"1\"} 1"));
+        assert!(text.contains("# TYPE presburger_shard_wedges_total counter"));
+        assert!(text.contains("presburger_serve_lock_recovered_total"));
+        assert!(!text.contains("# EOF"));
+    }
+
+    #[test]
+    fn lock_recovery_tally_is_monotonic() {
+        let before = lock_recovered_total();
+        note_lock_recovered();
+        assert!(lock_recovered_total() > before);
+    }
+}

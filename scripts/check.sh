@@ -112,7 +112,8 @@ echo "==> serve smoke (admission, shedding, breaker, drain, replay determinism)"
 # byte-identical transcripts across runs; deterministic shedding under
 # a tiny queue; a fault drill (worker panics → breaker opens → degraded
 # bounds → half-open probe → recovery); graceful and zero-deadline
-# drain; and a latency/throughput recording to BENCH_serve.json.
+# drain; the supervised shard-pool chaos drills (phase 6, DESIGN.md
+# §14); and a latency/throughput recording to BENCH_serve.json.
 echo "    clean run (records BENCH_serve.json)"
 cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 # The same suite must hold with a panic fault armed process-wide: the
@@ -121,6 +122,24 @@ cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 echo "    PRESBURGER_FAULT=splinters_generated:1:panic (panic isolation under load)"
 PRESBURGER_FAULT=splinters_generated:1:panic PRESBURGER_SERVE_BENCH_OUT="" \
     cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
+
+echo "==> chaos gate (supervised shard pool: operator-style kill/wedge drills)"
+# The shard supervisor's own gate (DESIGN.md §14). The clean serve run
+# above already exercises the built-in drill matrix (kill at 1/2/4
+# shards, wedge, delay, and the jittered-retry helper); here the *env*
+# drill path is driven the way an operator would use it:
+# PRESBURGER_CHAOS arms one deterministic fault at a named site, shard
+# and occurrence, and the chaos phase must still deliver exactly one
+# reply per admitted request, with transcripts byte-identical to the
+# chaos-off baseline, at both 2 and 4 shards.
+for drill in kill:1:3 wedge:0:3; do
+    for shards in 2 4; do
+        echo "    PRESBURGER_CHAOS=$drill PRESBURGER_SERVE_SHARDS=$shards"
+        PRESBURGER_CHAOS=$drill PRESBURGER_SERVE_SHARDS=$shards \
+            PRESBURGER_SERVE_CHAOS_ONLY=1 PRESBURGER_SERVE_BENCH_OUT="" \
+            cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
+    done
+done
 
 echo "==> metrics gate (exposition golden, flight-recorder drill, event log)"
 # The telemetry layer's own gate (DESIGN.md §12):
