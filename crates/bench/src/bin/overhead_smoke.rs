@@ -140,6 +140,33 @@ fn main() {
     }
     let per_route_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(ROUTE_LOOPS);
 
+    // 2f. Per-request cost of the binary wire codec (DESIGN.md §15):
+    //     one request frame encode + decode plus one reply frame
+    //     encode + decode, on the same §2.6-style query as the routing
+    //     workload. Like routing this path has no disabled state — a
+    //     binary connection pays it exactly once per request — so its
+    //     full round-trip cost is gated directly against E3.
+    let wire_req = presburger_serve::parse_request(
+        "count w0 max_splinters=512 {x,y : 1 <= x && x <= 9 && 0 <= y && y <= x}",
+    )
+    .expect("wire workload must parse");
+    let wire_reply = presburger_serve::wire::Reply::from_text("OK w0 exact 45");
+    const WIRE_LOOPS: u32 = 100_000;
+    let t = Instant::now();
+    for _ in 0..WIRE_LOOPS {
+        let frame = presburger_serve::wire::encode_request(std::hint::black_box(&wire_req));
+        std::hint::black_box(
+            presburger_serve::wire::decode_wire_request(std::hint::black_box(&frame))
+                .expect("round-trips"),
+        );
+        let frame = std::hint::black_box(&wire_reply).encode();
+        std::hint::black_box(
+            presburger_serve::wire::Reply::decode(std::hint::black_box(&frame))
+                .expect("round-trips"),
+        );
+    }
+    let per_wire_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(WIRE_LOOPS);
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -169,12 +196,16 @@ fn main() {
     // not the 64× used for the per-worker hooks above, because routing
     // happens at admission, never inside the compute.
     let route_overhead_ms = per_route_ns / 1e6;
+    // Likewise a binary request is framed and unframed exactly once per
+    // direction; the loop above already measures both directions.
+    let wire_overhead_ms = per_wire_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
     let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
     let obs_pct = 100.0 * obs_overhead_ms / median_ms;
     let memo_pct = 100.0 * memo_overhead_ms / median_ms;
     let route_pct = 100.0 * route_overhead_ms / median_ms;
+    let wire_pct = 100.0 * wire_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
     println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
@@ -182,6 +213,7 @@ fn main() {
     println!("disabled request metric: {per_obs_ns:.2} ns");
     println!("disabled memo guard:     {per_memo_ns:.2} ns");
     println!("shard route cost:        {per_route_ns:.2} ns");
+    println!("wire codec round trip:   {per_wire_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
     println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
@@ -219,5 +251,12 @@ fn main() {
         eprintln!("FAIL: shard-routing overhead {route_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector, disabled-governor, disabled-telemetry, disabled-memo and shard-routing overhead is below the 5% bound");
+    println!(
+        "wire-codec overhead:     {wire_overhead_ms:.4} ms per request ({wire_pct:.2}% of E3)"
+    );
+    if wire_pct >= 5.0 {
+        eprintln!("FAIL: wire-codec overhead {wire_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-collector, disabled-governor, disabled-telemetry, disabled-memo, shard-routing and wire-codec overhead is below the 5% bound");
 }

@@ -96,6 +96,33 @@ pub fn request_lines(seed: u64, n: usize, cfg: &GenConfig) -> Vec<GenRequest> {
         .collect()
 }
 
+/// Partitions the deterministic request stream of
+/// [`request_lines`]`(seed, n, cfg)` into consecutive batches of
+/// `1..=max_batch` requests, with batch sizes drawn from a dedicated
+/// fork of the same seed (fork index `n`, past every per-request fork).
+/// Identical `(seed, n, cfg, max_batch)` yield identical groupings, so
+/// the binary protocol's batch frames replay byte-exactly; flattening
+/// the batches reproduces `request_lines` exactly.
+pub fn batched_request_lines(
+    seed: u64,
+    n: usize,
+    cfg: &GenConfig,
+    max_batch: usize,
+) -> Vec<Vec<GenRequest>> {
+    let requests = request_lines(seed, n, cfg);
+    let max_batch = max_batch.max(1) as u64;
+    let mut rng = Rng::new(seed).fork(n as u64);
+    let mut batches = Vec::new();
+    let mut rest = requests.as_slice();
+    while !rest.is_empty() {
+        let take = (1 + rng.below(max_batch)) as usize;
+        let take = take.min(rest.len());
+        batches.push(rest[..take].to_vec());
+        rest = &rest[take..];
+    }
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +138,27 @@ mod tests {
         }
         let c = request_lines(8, 25, &cfg);
         assert!(a.iter().zip(&c).any(|(x, y)| x.line != y.line));
+    }
+
+    #[test]
+    fn batches_partition_the_flat_stream() {
+        let cfg = GenConfig::default();
+        let flat = request_lines(11, 30, &cfg);
+        let batched = batched_request_lines(11, 30, &cfg, 8);
+        let rejoined: Vec<&GenRequest> = batched.iter().flatten().collect();
+        assert_eq!(rejoined.len(), flat.len());
+        for (a, b) in rejoined.iter().zip(&flat) {
+            assert_eq!(a.line, b.line);
+        }
+        for batch in &batched {
+            assert!(!batch.is_empty() && batch.len() <= 8);
+        }
+        // Deterministic grouping.
+        let again = batched_request_lines(11, 30, &cfg, 8);
+        assert_eq!(
+            batched.iter().map(Vec::len).collect::<Vec<_>>(),
+            again.iter().map(Vec::len).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!    requests are re-dispatched, never lost, never degraded; a `delay`
 //!    never trips the supervisor. The jittered-retry client helper
 //!    rides out deterministic queue-full sheds.
+//! 7. **Binary codec** — the same request stream, re-framed as binary
+//!    batch frames, decodes to exactly the text transcript's reply
+//!    lines at 1, 2 and 4 shards, chaos off and with a kill drill
+//!    armed; batched-binary throughput must strictly beat line-by-line
+//!    text on a warm cache (framing cost dominates there), and the
+//!    batch retry helper rides out partial sheds. Recorded as the
+//!    `phase7` object of `BENCH_serve.json` (schema `serve_bench_v4`).
 //!
 //! Honours `PRESBURGER_FAULT` (phase 1 runs with the breaker disabled
 //! so env-injected faults stay per-request-deterministic),
@@ -35,10 +42,10 @@
 //! `PRESBURGER_SERVE_CONNS` / `PRESBURGER_SERVE_BENCH_OUT`.
 
 use presburger_counting::Budgets;
-use presburger_gen::{request_lines, GenConfig, GenRequest};
+use presburger_gen::{batched_request_lines, request_lines, GenConfig, GenRequest};
 use presburger_serve::server::{serve_connection, Gate, Server};
 use presburger_serve::{
-    routing_hash, Chaos, RetryPolicy, Ring, ServeConfig, ShardPool, ShardPoolConfig,
+    routing_hash, wire, Chaos, RetryPolicy, Ring, ServeConfig, ShardPool, ShardPoolConfig,
 };
 use presburger_trace::json::JsonObject;
 use presburger_trace::metrics::ReqVerb;
@@ -69,6 +76,10 @@ impl SharedBuf {
     fn take(&self) -> String {
         let bytes = self.0.lock().unwrap().clone();
         String::from_utf8(bytes).expect("invariant: the protocol emits UTF-8 only")
+    }
+
+    fn take_bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
     }
 }
 
@@ -146,7 +157,33 @@ fn run_partitioned(
     (outputs.iter().map(SharedBuf::take).collect(), elapsed)
 }
 
+/// Decodes a binary-codec transcript into the flattened text lines its
+/// replies stand for. A batch reply contributes one line per *inner*
+/// answer (never one per frame), so the text-protocol accounting —
+/// [`check_transcript`], [`census`], byte-identity against a text
+/// baseline — applies unchanged to either codec.
+fn flatten_binary_transcript(bytes: &[u8], label: &str) -> String {
+    assert!(
+        bytes.len() >= 3 && bytes[..3] == wire::preamble(),
+        "{label}: binary transcript does not start with the preamble echo"
+    );
+    let mut pos = 3;
+    let mut lines: Vec<String> = Vec::new();
+    while pos < bytes.len() {
+        let (reply, used) = wire::Reply::decode(&bytes[pos..])
+            .unwrap_or_else(|e| panic!("{label}: undecodable reply frame at byte {pos}: {e:?}"));
+        pos += used;
+        // `Reply::Batch::to_text` joins inner answers with '\n', so one
+        // push flattens the frame into per-answer lines.
+        lines.push(reply.to_text());
+    }
+    lines.join("\n") + "\n"
+}
+
 /// Asserts one response per request, in request order, none shed.
+/// Reply accounting is per answer *line*: binary transcripts go through
+/// [`flatten_binary_transcript`] first, so batched replies count each
+/// inner answer exactly once.
 fn check_transcript(transcript: &str, expected_ids: &[&str], label: &str) {
     let lines: Vec<&str> = transcript.lines().collect();
     assert_eq!(
@@ -459,9 +496,10 @@ fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
             .field_u64("breaker", PHASE3_REQUESTS.load(Ordering::Relaxed))
             .field_u64("drain", PHASE4_REQUESTS.load(Ordering::Relaxed))
             .field_u64("latency", n as u64)
-            .field_u64("chaos", PHASE6_REQUESTS.load(Ordering::Relaxed));
+            .field_u64("chaos", PHASE6_REQUESTS.load(Ordering::Relaxed))
+            .field_u64("binary", PHASE7_REQUESTS.load(Ordering::Relaxed));
         let mut obj = JsonObject::new();
-        obj.field_str("schema", "serve_bench_v3")
+        obj.field_str("schema", "serve_bench_v4")
             .field_u64("requests", n as u64)
             .field_u64("p50_us", overall.percentile(0.50))
             .field_u64("p90_us", overall.percentile(0.90))
@@ -479,6 +517,9 @@ fn phase_latency(n: usize, phase1_n: usize, phase1_elapsed: Duration) {
             .field_raw("splinters_by_verb", &splinters_by_verb.finish());
         if let Some(drills) = CHAOS_DRILLS.lock().unwrap().take() {
             obj.field_raw("chaos_drills", &drills);
+        }
+        if let Some(p7) = PHASE7_BENCH.lock().unwrap().take() {
+            obj.field_raw("phase7", &p7);
         }
         if std::fs::write(&out, obj.finish() + "\n").is_ok() {
             println!("    wrote {out}");
@@ -555,6 +596,9 @@ fn run_pool_partitioned(
 
 /// Reply census of a transcript set: (exact, bounded, err, shed) —
 /// the "masked counters" whose equality chaos on/off must preserve.
+/// Counts answer lines, not frames: feed binary transcripts through
+/// [`flatten_binary_transcript`] so each batched inner answer tallies
+/// exactly once.
 fn census(transcripts: &[String]) -> (u64, u64, u64, u64) {
     let mut c = (0, 0, 0, 0);
     for line in transcripts.iter().flat_map(|t| t.lines()) {
@@ -814,6 +858,254 @@ fn phase_chaos(n: usize, conns: usize, env_chaos: Option<Arc<Chaos>>) {
     *CHAOS_DRILLS.lock().unwrap() = Some(drills);
 }
 
+fn phase_binary_protocol(n: usize) {
+    println!("==> phase 7: binary codec ({n} requests, batches of 1..=16)");
+    let cfg = GenConfig::default();
+    let requests = request_lines(0xC0FFEE, n, &cfg);
+    let batches = batched_request_lines(0xC0FFEE, n, &cfg, 16);
+    let parsed: Vec<Vec<presburger_serve::Request>> = batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|r| presburger_serve::parse_request(&r.line).expect("generated lines parse"))
+                .collect()
+        })
+        .collect();
+    let mut frames = Vec::new();
+    for batch in &parsed {
+        frames.extend_from_slice(&wire::encode_batch(batch).expect("batches are within limits"));
+    }
+    let mut input = wire::preamble().to_vec();
+    input.extend_from_slice(&frames);
+    let ids: Vec<&str> = requests.iter().map(|r| r.id.as_str()).collect();
+
+    // 7a: semantic equality against the text protocol at 1, 2 and 4
+    // shards (one connection, so both codecs share the request order),
+    // chaos off and with a kill drill armed mid-stream. The binary
+    // transcript must *decode to* exactly the text transcript.
+    for shards in [1usize, 2, 4] {
+        let (text, _, _) = run_pool_partitioned(shards, &requests, 1, None);
+        let run_binary = |chaos: Option<Arc<Chaos>>, label: &str| -> String {
+            // Workers stay gated until the whole stream is queued: the
+            // drill must race re-dispatch against the *queue*, not
+            // against the client's submission loop — at shards=1 there
+            // is no sibling to absorb a submission that lands in the
+            // few-ms restart window, and that failover is phase 6's
+            // subject, not this phase's.
+            let gate = Gate::new(true);
+            let mut cfg = chaos_pool_cfg(shards, n + 1, chaos);
+            cfg.shard_cfg.hold = Some(gate.clone());
+            let pool = ShardPool::start(cfg);
+            let handle = pool.handle();
+            let out = SharedBuf::new();
+            thread::scope(|scope| {
+                let conn_handle = handle.clone();
+                let conn_out = out.clone();
+                let conn_input = Cursor::new(input.clone());
+                scope.spawn(move || {
+                    serve_connection(&conn_handle, conn_input, conn_out, false)
+                        .expect("in-memory binary connection cannot fail");
+                });
+                for _ in 0..10_000 {
+                    let routed: u64 = handle.shard_rows().iter().map(|r| r.routed).sum();
+                    if routed >= n as u64 {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                gate.open();
+            });
+            pool.shutdown();
+            flatten_binary_transcript(&out.take_bytes(), label)
+        };
+        let flat = run_binary(None, &format!("binary shards={shards}"));
+        check_transcript(&flat, &ids, &format!("binary shards={shards}"));
+        assert_eq!(
+            text[0], flat,
+            "shards={shards}: binary replies are not semantically identical to text"
+        );
+        let armed = plurality_shard(&requests, shards);
+        let chaos =
+            Arc::new(Chaos::parse(&format!("kill:{armed}:3")).expect("drill spec always parses"));
+        let label = format!("binary kill drill shards={shards}");
+        let chaotic = run_binary(Some(chaos.clone()), &label);
+        assert!(chaos.fired(), "{label}: the armed fault never fired");
+        assert_eq!(
+            flat, chaotic,
+            "{label}: binary replies drifted under the drill"
+        );
+        assert_eq!(
+            census(std::slice::from_ref(&flat)),
+            census(&[chaotic]),
+            "{label}: reply census changed under chaos"
+        );
+        println!("    shards={shards}: binary == text, kill-drill-stable");
+    }
+
+    // 7b: framing-bound throughput. The generated stream's bounded and
+    // error replies recompute every pass (only exact answers are
+    // cached), so its wall time measures the *engine*, where the codecs
+    // are identical by construction. Throughput instead uses a stream
+    // of trivial distinct-id queries over a handful of formulas: after
+    // one warm pass every answer is a cache hit, 4 workers drain the
+    // queue faster than one connection can feed it, and the connection
+    // thread's framing and admission are the bottleneck — the regime
+    // batching targets: one queue reservation, one worker wake-up and
+    // one gathered write per full `MAX_BATCH` frame instead of one
+    // lock, one notify, one writer handoff and one write per line.
+    // Best-of-5 per codec, interleaved so machine noise hits both;
+    // batched binary must *strictly* beat text.
+    let total = 8192usize;
+    let tp_requests: Vec<GenRequest> = (0..total)
+        .map(|i| GenRequest {
+            id: format!("t{i}"),
+            line: format!("count t{i} {{x : 1 <= x <= {}}}", 1 + i % 9),
+        })
+        .collect();
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_depth: total + 1,
+        default_deadline_ms: None,
+        default_budgets: replay_budgets(),
+        breaker_failures: 0,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let text_input: String = tp_requests
+        .iter()
+        .map(|r| format!("{}\n", r.line))
+        .collect();
+    let mut bin_input = wire::preamble().to_vec();
+    {
+        // Full frames: the throughput pass measures batching at its
+        // design point (mixed sizes are covered by 7a and the
+        // round-trip tests).
+        let parsed: Vec<presburger_serve::Request> = tp_requests
+            .iter()
+            .map(|r| presburger_serve::parse_request(&r.line).expect("trivial lines parse"))
+            .collect();
+        for chunk in parsed.chunks(wire::MAX_BATCH) {
+            bin_input.extend_from_slice(&wire::encode_batch(chunk).expect("within limits"));
+        }
+    }
+    let run_text = || -> (String, Duration) {
+        let out = SharedBuf::new();
+        let started = Instant::now();
+        serve_connection(&handle, Cursor::new(text_input.clone()), out.clone(), false)
+            .expect("in-memory connection cannot fail");
+        (out.take(), started.elapsed())
+    };
+    let run_bin = || -> (Vec<u8>, Duration) {
+        let out = SharedBuf::new();
+        let started = Instant::now();
+        serve_connection(&handle, Cursor::new(bin_input.clone()), out.clone(), false)
+            .expect("in-memory connection cannot fail");
+        (out.take_bytes(), started.elapsed())
+    };
+    let (warm, _) = run_text(); // populate the result cache
+    let mut text_best = Duration::MAX;
+    let mut bin_best = Duration::MAX;
+    for _ in 0..5 {
+        let (t, took) = run_text();
+        assert_eq!(warm, t, "warm text pass must replay byte-identically");
+        text_best = text_best.min(took);
+        let (b, took) = run_bin();
+        assert_eq!(
+            warm,
+            flatten_binary_transcript(&b, "binary throughput pass"),
+            "binary throughput pass decoded to different replies"
+        );
+        bin_best = bin_best.min(took);
+    }
+    server.shutdown();
+    let text_rps = total as f64 / text_best.as_secs_f64().max(1e-9);
+    let bin_rps = total as f64 / bin_best.as_secs_f64().max(1e-9);
+    assert!(
+        bin_best < text_best,
+        "batched binary ({bin_rps:.0} req/s) did not beat text ({text_rps:.0} req/s) \
+         on a warm cache"
+    );
+    println!(
+        "    throughput (warm cache, {total} requests): text={text_rps:.0} req/s \
+         binary={bin_rps:.0} req/s ({:.2}x)",
+        bin_rps / text_rps
+    );
+
+    // 7c: the batch retry helper rides out a *partial* shed — a 4-deep
+    // batch against a 2-deep gated queue admits two in position and
+    // sheds two; only the shed indices are re-sent.
+    let gate = Gate::new(true);
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        hold: Some(gate.clone()),
+        default_deadline_ms: None,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let opener = thread::spawn({
+        let gate = gate.clone();
+        move || {
+            thread::sleep(Duration::from_millis(30));
+            gate.open();
+        }
+    });
+    let retry_ids: Vec<String> = (0..4).map(|i| format!("t{i}")).collect();
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay_ms: 15,
+        max_delay_ms: 120,
+    };
+    let mut rounds = 0u32;
+    let mut first_round_sheds = 0usize;
+    let replies = presburger_serve::submit_batch_with_retry(&policy, &retry_ids, |want| {
+        rounds += 1;
+        let queries: Vec<_> = want
+            .iter()
+            .map(|&i| {
+                let line = format!("count {} {{x : {CLEAN}}}", retry_ids[i]);
+                match presburger_serve::parse_request(&line).unwrap() {
+                    presburger_serve::Request::Query(q) => q,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        let out: Vec<String> = handle
+            .submit_batch(queries)
+            .into_iter()
+            .map(|s| s.wait())
+            .collect();
+        if rounds == 1 {
+            first_round_sheds = out.iter().filter(|l| l.starts_with("SHED ")).count();
+        }
+        out
+    });
+    assert_eq!(
+        first_round_sheds, 2,
+        "a 4-deep batch on a 2-deep gated queue must shed exactly two"
+    );
+    assert!(rounds > 1, "the partial shed should have forced a retry");
+    for (i, line) in replies.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("OK t{i} exact ")),
+            "batch retry reply {i} wrong or out of position: {line}"
+        );
+    }
+    opener.join().expect("gate opener");
+    server.shutdown();
+    println!("    batch retry: 2/4 partial shed healed in {rounds} rounds");
+
+    PHASE7_REQUESTS.store((9 * n + 7 * total + 4) as u64, Ordering::Relaxed);
+    let mut p7 = JsonObject::new();
+    p7.field_u64("requests", total as u64)
+        .field_u64("batch_size", wire::MAX_BATCH as u64)
+        .field_f64("text_rps", text_rps)
+        .field_f64("binary_rps", bin_rps)
+        .field_f64("speedup", bin_rps / text_rps);
+    *PHASE7_BENCH.lock().unwrap() = Some(p7.finish());
+}
+
 /// Per-phase request totals, recorded for `BENCH_serve.json`'s
 /// `phase_requests` breakdown (phase 1 counts one run, not all four).
 static PHASE1_REQUESTS: AtomicU64 = AtomicU64::new(0);
@@ -821,10 +1113,15 @@ static PHASE2_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE3_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE4_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static PHASE6_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static PHASE7_REQUESTS: AtomicU64 = AtomicU64::new(0);
 
 /// Phase 6's drill summary (JSON array), stashed for phase 5's bench
 /// writer. `None` when the chaos phase has not run.
 static CHAOS_DRILLS: Mutex<Option<String>> = Mutex::new(None);
+
+/// Phase 7's codec-throughput summary (JSON object), stashed for phase
+/// 5's bench writer. `None` when the binary phase has not run.
+static PHASE7_BENCH: Mutex<Option<String>> = Mutex::new(None);
 
 fn main() {
     let n = env_usize("PRESBURGER_SERVE_REQUESTS", 200);
@@ -845,6 +1142,7 @@ fn main() {
     phase_breaker_drill();
     phase_drain();
     phase_chaos(n, conns, env_chaos);
+    phase_binary_protocol(n);
     phase_latency(n.min(60), phase1_n, phase1_elapsed);
     println!("serve_stress: all phases passed");
 }

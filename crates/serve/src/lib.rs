@@ -57,12 +57,14 @@ pub mod server;
 pub mod shard;
 mod sync;
 pub mod telemetry;
+pub mod wire;
 
 pub use breaker::{Breaker, Plan};
 pub use cache::ResultCache;
 pub use chaos::{Chaos, ChaosSite};
 pub use protocol::{parse_request, Overrides, ProtocolError, Query, Request, ServeError, Verb};
-pub use retry::{submit_with_retry, RetryPolicy};
+pub use retry::{submit_batch_with_retry, submit_with_retry, RetryPolicy};
 pub use server::{run_stdio, Gate, Handle, ServeConfig, Server, Service, Slot, TcpServer};
 pub use shard::{routing_hash, PoolHandle, PoolTcpServer, Ring, ShardPool, ShardPoolConfig};
 pub use telemetry::{FlightRecord, RequestTelemetry, Telemetry, TelemetrySettings};
+pub use wire::{serve_binary_connection, BinClient, Reply, WireRequest};

@@ -129,7 +129,7 @@ impl Overrides {
 /// One parsed query request (the textual parts are still unparsed —
 /// formula/poly parsing happens on a worker, inside its panic
 /// isolation boundary).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Query {
     /// Request id, echoed on the response line.
     pub id: String,
@@ -146,7 +146,7 @@ pub struct Query {
 }
 
 /// One parsed request line.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// A count/sum query.
     Query(Query),
@@ -230,7 +230,7 @@ fn err(id: Option<&str>, detail: impl Into<String>) -> ProtocolError {
     }
 }
 
-fn valid_id(id: &str) -> bool {
+pub(crate) fn valid_id(id: &str) -> bool {
     !id.is_empty()
         && id.len() <= MAX_ID_LEN
         && id

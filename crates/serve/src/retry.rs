@@ -81,6 +81,56 @@ pub fn submit_with_retry(
     line
 }
 
+/// Batch-aware retry: resends only the *inner* requests whose replies
+/// were `SHED`, preserving the no-lost-response invariant per inner
+/// request rather than per frame. `send` receives the indices (into
+/// `ids`) still needing answers and must return exactly one reply line
+/// per requested index, in that order — a batched client answers them
+/// from one re-batched frame. Between rounds the helper sleeps the
+/// *maximum* of the per-id deterministic backoffs (the whole batch
+/// travels in one frame, so it waits for its slowest member). Returns
+/// one final reply line per id; ids whose retries are exhausted keep
+/// their last `SHED` line.
+pub fn submit_batch_with_retry(
+    policy: &RetryPolicy,
+    ids: &[String],
+    mut send: impl FnMut(&[usize]) -> Vec<String>,
+) -> Vec<String> {
+    let attempts = policy.max_attempts.max(1);
+    let all: Vec<usize> = (0..ids.len()).collect();
+    let mut replies = send(&all);
+    assert_eq!(
+        replies.len(),
+        ids.len(),
+        "send must answer every requested index"
+    );
+    let mut attempt = 0;
+    loop {
+        let pending: Vec<usize> = (0..ids.len())
+            .filter(|&i| replies[i].starts_with("SHED"))
+            .collect();
+        if pending.is_empty() || attempt + 1 >= attempts {
+            return replies;
+        }
+        let delay = pending
+            .iter()
+            .map(|&i| policy.backoff(&ids[i], attempt, shed_hint_ms(&replies[i])))
+            .max()
+            .unwrap_or_default();
+        thread::sleep(delay);
+        let fresh = send(&pending);
+        assert_eq!(
+            fresh.len(),
+            pending.len(),
+            "send must answer every requested index"
+        );
+        for (line, &i) in fresh.into_iter().zip(&pending) {
+            replies[i] = line;
+        }
+        attempt += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +170,57 @@ mod tests {
         let line = submit_with_retry(&p, "q1", || replies.pop().expect("enough replies").into());
         assert_eq!(line, "OK q1 exact 3");
         assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn batch_retry_resends_only_shed_indices() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+        };
+        let ids: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let mut calls: Vec<Vec<usize>> = Vec::new();
+        let replies = submit_batch_with_retry(&p, &ids, |want| {
+            calls.push(want.to_vec());
+            match calls.len() {
+                // First round: only b sheds.
+                1 => vec![
+                    "OK a exact 1".into(),
+                    "SHED b retry_after_ms=1 reason=queue_full".into(),
+                    "OK c exact 3".into(),
+                ],
+                // Retry round is asked for exactly the shed index.
+                _ => {
+                    assert_eq!(want, [1]);
+                    vec!["OK b exact 2".into()]
+                }
+            }
+        });
+        assert_eq!(calls, vec![vec![0, 1, 2], vec![1]]);
+        assert_eq!(
+            replies,
+            vec!["OK a exact 1", "OK b exact 2", "OK c exact 3"]
+        );
+    }
+
+    #[test]
+    fn batch_retry_keeps_the_last_shed_when_exhausted() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 1,
+        };
+        let ids: Vec<String> = vec!["q1".into()];
+        let mut calls = 0;
+        let replies = submit_batch_with_retry(&p, &ids, |want| {
+            calls += 1;
+            want.iter()
+                .map(|_| "SHED q1 retry_after_ms=1 reason=queue_full".to_string())
+                .collect()
+        });
+        assert_eq!(calls, 2);
+        assert!(replies[0].starts_with("SHED"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use presburger_counting::{
 };
 use presburger_omega::{parse_affine, parse_formula, Space};
 use presburger_polyq::QPoly;
-use presburger_trace::metrics::{ReqOutcome, ReqVerb};
+use presburger_trace::metrics::{ReqCodec, ReqOutcome, ReqVerb};
 use presburger_trace::{self as trace, Counter};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -453,6 +453,69 @@ impl Handle {
                 Slot::ready(refused.line)
             }
         }
+    }
+
+    /// Admits a whole batch under **one** queue-lock reservation: every
+    /// query is admitted or shed in a single critical section, so a
+    /// batch can never interleave with other submitters. Partial-shed
+    /// semantics: queries are considered in order; once the server is
+    /// draining or the queue fills, the remaining queries get `SHED`
+    /// slots *in position* while earlier admissions stand. Returns one
+    /// slot per query, in input order.
+    pub fn submit_batch(&self, queries: Vec<Query>) -> Vec<Arc<Slot>> {
+        let inner = &self.inner;
+        let mut slots = Vec::with_capacity(queries.len());
+        let mut sheds: Vec<(Refusal, Verb)> = Vec::new();
+        let mut admitted = 0usize;
+        {
+            let mut q = lock_ok(&inner.queue);
+            for query in queries {
+                if q.draining || q.shutdown {
+                    slots.push(Slot::ready(shed_line(
+                        &query.id,
+                        inner.cfg.retry_after_ms,
+                        "draining",
+                    )));
+                    sheds.push((Refusal::Draining, query.verb));
+                    continue;
+                }
+                if q.jobs.len() >= inner.cfg.queue_depth {
+                    slots.push(Slot::ready(shed_line(
+                        &query.id,
+                        inner.cfg.retry_after_ms,
+                        "queue_full",
+                    )));
+                    sheds.push((Refusal::QueueFull, query.verb));
+                    continue;
+                }
+                let slot = Slot::new();
+                q.jobs.push_back(Job {
+                    query,
+                    slot: slot.clone(),
+                    enqueued: Instant::now(),
+                });
+                admitted += 1;
+                let depth = q.jobs.len() as u64;
+                inner.stats.bump(&inner.stats.admitted);
+                inner
+                    .stats
+                    .queue_depth_peak
+                    .fetch_max(depth, Ordering::Relaxed);
+                trace::record_max(Counter::ServeQueueDepthPeak, depth);
+                trace::bump(Counter::ServeRequests);
+                slots.push(slot);
+            }
+        }
+        // Tallies and wakeups ride outside the critical section.
+        for (reason, verb) in sheds {
+            self.note_shed(reason, verb);
+        }
+        match admitted {
+            0 => {}
+            1 => inner.queue_cv.notify_one(),
+            _ => inner.queue_cv.notify_all(),
+        }
+        slots
     }
 
     /// Re-admits an orphaned query, re-using the caller's existing slot
@@ -1111,6 +1174,21 @@ pub trait Service: Clone + Send + Sync + 'static {
     /// Admits or sheds a query; the returned slot is (or will be)
     /// fulfilled with exactly one response line.
     fn submit(&self, query: Query) -> Arc<Slot>;
+    /// Admits a batch of queries, one slot per query in input order.
+    /// The default scatters each query through [`Service::submit`]
+    /// (which is how a shard pool fans a batch across its ring);
+    /// single-server handles override it with an atomic one-reservation
+    /// admission that defines partial-shed semantics.
+    fn submit_batch(&self, queries: Vec<Query>) -> Vec<Arc<Slot>> {
+        queries.into_iter().map(|q| self.submit(q)).collect()
+    }
+    /// Observational hook: a connection driver saw one request frame
+    /// (or, with `batch = Some(k)`, a batch frame of `k` inner
+    /// requests) on the given codec. Feeds the per-codec request
+    /// counters and the batch-size histogram; replies are unaffected.
+    fn observe_wire(&self, codec: ReqCodec, batch: Option<u64>) {
+        let _ = (codec, batch);
+    }
     /// Gracefully drains; returns the final stats line.
     fn drain(&self) -> String;
     /// The `stats` verb's one-line reply.
@@ -1128,6 +1206,16 @@ pub trait Service: Clone + Send + Sync + 'static {
 impl Service for Handle {
     fn submit(&self, query: Query) -> Arc<Slot> {
         Handle::submit(self, query)
+    }
+    fn submit_batch(&self, queries: Vec<Query>) -> Vec<Arc<Slot>> {
+        Handle::submit_batch(self, queries)
+    }
+    fn observe_wire(&self, codec: ReqCodec, batch: Option<u64>) {
+        let m = &self.inner.telemetry.metrics;
+        m.observe_codec_requests(codec, batch.unwrap_or(1));
+        if let Some(k) = batch {
+            m.observe_batch(k);
+        }
     }
     fn drain(&self) -> String {
         Handle::drain(self)
@@ -1162,12 +1250,23 @@ impl Service for Handle {
 /// order. Returns after `drain` (server-wide) or EOF; when
 /// `drain_on_eof` is set, EOF triggers a server drain and the final
 /// stats line is emitted before returning.
+///
+/// The codec is auto-detected from the first byte: a connection that
+/// opens with the binary magic prefix ([`crate::wire::MAGIC`]) is
+/// handed to [`crate::wire::serve_binary_connection`]; anything else —
+/// every existing client — gets the text protocol unchanged.
 pub fn serve_connection<S: Service>(
     handle: &S,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write + Send + 'static,
     drain_on_eof: bool,
 ) -> Result<(), ServeError> {
+    // Peek without consuming: the binary driver re-reads the full
+    // preamble itself.
+    let binary = reader.fill_buf()?.first() == Some(&crate::wire::MAGIC[0]);
+    if binary {
+        return crate::wire::serve_binary_connection(handle, reader, writer, drain_on_eof);
+    }
     // Per-connection FIFO writer: slots are enqueued in request order
     // and emitted in that order, whatever order workers finish in.
     let (tx, rx) = mpsc::channel::<Arc<Slot>>();
@@ -1199,6 +1298,7 @@ pub fn serve_connection<S: Service>(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
+        handle.observe_wire(ReqCodec::Text, None);
         let slot = match parse_request(trimmed) {
             Ok(Request::Query(q)) => handle.submit(q),
             Ok(Request::Ping(id)) => Slot::ready(match id {

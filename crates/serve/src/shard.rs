@@ -50,6 +50,7 @@ use crate::protocol::{shed_line, Query, ServeError, Verb};
 use crate::server::{self, Handle, Refusal, ServeConfig, Server, Service, Slot};
 use crate::sync::lock_ok;
 use presburger_omega::{parse_formula, Space};
+use presburger_trace::metrics::ReqCodec;
 use presburger_trace::shard::{render_prometheus, ShardRow, ShardRowSnapshot};
 use presburger_trace::{self as trace};
 use std::net::TcpListener;
@@ -620,6 +621,16 @@ impl PoolHandle {
 impl Service for PoolHandle {
     fn submit(&self, query: Query) -> Arc<Slot> {
         PoolHandle::submit(self, query)
+    }
+    // submit_batch keeps the trait default: each query routes through
+    // `PoolHandle::submit`, i.e. a batch scatters across the ring
+    // (per-query consistent hashing) and gathers via its slots.
+    fn observe_wire(&self, codec: ReqCodec, batch: Option<u64>) {
+        // Codec traffic is connection-level, not shard-level: charge it
+        // to shard 0's current-epoch telemetry hub so a pool still
+        // exposes the per-codec families.
+        let h = lock_ok(&self.inner.shards)[0].handle.clone();
+        Service::observe_wire(&h, codec, batch);
     }
     fn drain(&self) -> String {
         PoolHandle::drain(self)

@@ -11,7 +11,11 @@
 //!
 //! 1. the histogram/counter registry
 //!    ([`presburger_trace::metrics::RequestMetrics`]), exposed by the
-//!    `metrics` protocol verb in Prometheus text format;
+//!    `metrics` protocol verb in Prometheus text format — the same
+//!    registry the connection drivers feed per-codec request counters
+//!    and binary batch-size observations into
+//!    (`presburger_codec_requests_total`, `presburger_batch_size`; see
+//!    [`crate::wire`]);
 //! 2. the **flight recorder** — a bounded ring that retains the *full
 //!    evidence* (rendered formula, counter deltas, span tree) for any
 //!    request that exceeded the latency threshold or tripped the

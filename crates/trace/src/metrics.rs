@@ -297,6 +297,31 @@ impl ReqOutcome {
     }
 }
 
+/// The wire-codec dimension of the per-codec request counter family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqCodec {
+    /// Newline-delimited text protocol.
+    Text = 0,
+    /// Length-prefixed binary protocol (`serve::wire`).
+    Binary = 1,
+}
+
+/// Number of codec labels.
+pub const NUM_CODECS: usize = 2;
+
+impl ReqCodec {
+    /// Every codec, in stable exposition order.
+    pub const ALL: [ReqCodec; NUM_CODECS] = [ReqCodec::Text, ReqCodec::Binary];
+
+    /// The stable label value used in exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqCodec::Text => "text",
+            ReqCodec::Binary => "binary",
+        }
+    }
+}
+
 /// One request's aggregate measurements, recorded in a single call so
 /// the disabled path is one atomic load however many series exist.
 #[derive(Clone, Copy, Debug)]
@@ -327,6 +352,8 @@ pub struct RequestMetrics {
     queue_wait_us: [Histogram; NUM_VERBS],
     govern_overhead_us: [Histogram; NUM_VERBS],
     splinters: [Histogram; NUM_VERBS],
+    codec_requests: [AtomicU64; NUM_CODECS],
+    batch_size: Histogram,
     events_logged: AtomicU64,
     events_dropped: AtomicU64,
     flight_records: AtomicU64,
@@ -342,6 +369,8 @@ impl RequestMetrics {
             queue_wait_us: std::array::from_fn(|_| Histogram::new()),
             govern_overhead_us: std::array::from_fn(|_| Histogram::new()),
             splinters: std::array::from_fn(|_| Histogram::new()),
+            codec_requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_size: Histogram::new(),
             events_logged: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
             flight_records: AtomicU64::new(0),
@@ -385,6 +414,36 @@ impl RequestMetrics {
             return;
         }
         self.requests[verb as usize][ReqOutcome::Shed as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` inner requests received on `codec` (a batch frame of
+    /// `k` requests counts `k`). A no-op when disabled.
+    #[inline]
+    pub fn observe_codec_requests(&self, codec: ReqCodec, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.codec_requests[codec as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one binary batch frame's inner-request count. A no-op
+    /// when disabled.
+    #[inline]
+    pub fn observe_batch(&self, size: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.batch_size.record(size);
+    }
+
+    /// Inner requests received on `codec` so far.
+    pub fn codec_requests(&self, codec: ReqCodec) -> u64 {
+        self.codec_requests[codec as usize].load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the batch-size histogram.
+    pub fn batch_size(&self) -> HistogramSnapshot {
+        self.batch_size.snapshot()
     }
 
     /// Counts a structured event written to the JSONL event log.
@@ -543,6 +602,24 @@ impl RequestMetrics {
             );
         }
         out.push_str(
+            "# HELP presburger_codec_requests_total Inner requests received per wire codec.\n\
+             # TYPE presburger_codec_requests_total counter\n",
+        );
+        for c in ReqCodec::ALL {
+            let n = self.codec_requests(c);
+            if n > 0 {
+                out.push_str(&format!(
+                    "presburger_codec_requests_total{{codec=\"{}\"}} {n}\n",
+                    c.label()
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP presburger_batch_size Inner requests per binary batch frame.\n\
+             # TYPE presburger_batch_size histogram\n",
+        );
+        render_histogram_series(&mut out, "presburger_batch_size", "", &self.batch_size());
+        out.push_str(
             "# HELP presburger_events_logged_total Structured events written to the JSONL event \
              log.\n# TYPE presburger_events_logged_total counter\n",
         );
@@ -582,16 +659,28 @@ fn render_histogram_series(
     if snapshot.is_empty() {
         return;
     }
+    // An unlabeled series renders bare `_sum`/`_count` and `{le=…}`
+    // buckets (the batch-size histogram has no dimensions).
+    let le_prefix = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    };
     let mut cumulative = 0u64;
     for (i, &n) in snapshot.buckets.iter().enumerate() {
         cumulative += n;
         out.push_str(&format!(
-            "{name}_bucket{{{labels},le=\"{}\"}} {cumulative}\n",
+            "{name}_bucket{{{le_prefix}le=\"{}\"}} {cumulative}\n",
             bucket_le_label(i)
         ));
     }
-    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", snapshot.sum));
-    out.push_str(&format!("{name}_count{{{labels}}} {}\n", snapshot.count));
+    if labels.is_empty() {
+        out.push_str(&format!("{name}_sum {}\n", snapshot.sum));
+        out.push_str(&format!("{name}_count {}\n", snapshot.count));
+    } else {
+        out.push_str(&format!("{name}_sum{{{labels}}} {}\n", snapshot.sum));
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", snapshot.count));
+    }
 }
 
 /// The splinter count attributable to one request, from its counter
@@ -720,6 +809,34 @@ mod tests {
         assert_eq!(m.govern_overhead(ReqVerb::Count).sum, 90);
         assert_eq!(m.splinters(ReqVerb::Count).sum, 17);
         assert_eq!(m.duration_merged(None).count, 1);
+    }
+
+    #[test]
+    fn codec_and_batch_families_render_after_splinters() {
+        let m = RequestMetrics::new(true);
+        m.observe_codec_requests(ReqCodec::Text, 1);
+        m.observe_codec_requests(ReqCodec::Binary, 16);
+        m.observe_batch(16);
+        assert_eq!(m.codec_requests(ReqCodec::Text), 1);
+        assert_eq!(m.codec_requests(ReqCodec::Binary), 16);
+        assert_eq!(m.batch_size().count, 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("presburger_codec_requests_total{codec=\"text\"} 1"));
+        assert!(text.contains("presburger_codec_requests_total{codec=\"binary\"} 16"));
+        assert!(text.contains("presburger_batch_size_bucket{le=\"16\"} 1"));
+        assert!(text.contains("presburger_batch_size_sum 16"));
+        assert!(text.contains("presburger_batch_size_count 1"));
+        // Family order: splinters, then codec, then the event counters.
+        let splinters = text.find("presburger_request_splinters").unwrap();
+        let codec = text.find("presburger_codec_requests_total").unwrap();
+        let events = text.find("presburger_events_logged_total").unwrap();
+        assert!(splinters < codec && codec < events);
+        // Disabled registries stay silent.
+        let off = RequestMetrics::new(false);
+        off.observe_codec_requests(ReqCodec::Binary, 5);
+        off.observe_batch(5);
+        assert_eq!(off.codec_requests(ReqCodec::Binary), 0);
+        assert!(off.batch_size().is_empty());
     }
 
     #[test]

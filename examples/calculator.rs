@@ -42,6 +42,18 @@
 //!   one response per line, with admission control, circuit breaking
 //!   and graceful drain on EOF (see `presburger_serve`). `--threads`
 //!   sets the worker count and `--timeout` the per-request deadline.
+//!   A TCP server reached via `--connect` speaks the same protocol —
+//!   plus the binary codec below, auto-detected per connection;
+//! * `--connect HOST:PORT` — client mode: read request lines from
+//!   stdin, forward them to a serving-layer TCP server, print each
+//!   reply. By default requests travel as protocol text;
+//! * `--binary` — with `--connect`, speak the length-prefixed binary
+//!   wire codec (`presburger::serve::wire`) instead of text. Replies
+//!   are decoded and printed as their canonical text form, so output
+//!   is identical either way — that equality is the codec's contract;
+//! * `--batch K` — with `--binary`, pack up to `K` consecutive count /
+//!   sum requests into one atomically-admitted batch frame (max 64;
+//!   control verbs flush the pending batch first).
 
 use presburger::prelude::*;
 use presburger::serve::ServeConfig;
@@ -57,6 +69,9 @@ struct Options {
     json: bool,
     metrics: bool,
     serve: bool,
+    connect: Option<String>,
+    binary: bool,
+    batch: usize,
     threads: usize,
     no_memo: bool,
     timeout_ms: Option<u64>,
@@ -230,6 +245,106 @@ fn print_samples(symbols: &[String], render: SampleRenderer) {
     println!();
 }
 
+/// Client mode (`--connect`): forwards stdin request lines to a
+/// serving-layer TCP server and prints each reply. With `--binary` the
+/// requests travel as wire frames (batched up to `--batch`), and the
+/// decoded replies print byte-identically to what the text codec would
+/// have produced.
+fn run_client(addr: &str, binary: bool, batch: usize) -> Result<(), String> {
+    use presburger::serve::{parse_request, wire, Request, ServeError};
+    use std::io::{BufRead, Read, Write};
+    use std::net::TcpStream;
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stdin = std::io::stdin();
+
+    if !binary {
+        // Text codec: copy socket→stdout in a thread, stdin→socket
+        // here; half-close on stdin EOF so the server drains.
+        let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+        let printer = std::thread::spawn(move || {
+            let mut read_half = stream;
+            let mut out = std::io::stdout();
+            let mut buf = [0u8; 4096];
+            while let Ok(n) = read_half.read(&mut buf) {
+                if n == 0 || out.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                let _ = out.flush();
+            }
+        });
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            writeln!(write_half, "{line}").map_err(|e| e.to_string())?;
+        }
+        let _ = write_half.shutdown(std::net::Shutdown::Write);
+        let _ = printer.join();
+        return Ok(());
+    }
+
+    let reader = stream.try_clone().map_err(|e| e.to_string())?;
+    let writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut client =
+        wire::BinClient::handshake(reader, writer).map_err(|e| format!("handshake: {e}"))?;
+    let mut pending: Vec<Request> = Vec::new();
+    let roundtrip = |client: &mut wire::BinClient<TcpStream, TcpStream>,
+                     pending: &mut Vec<Request>|
+     -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        if pending.len() == 1 {
+            client.send(&pending[0]).map_err(|e| e.to_string())?;
+        } else {
+            client.send_batch(pending).map_err(|e| e.to_string())?;
+        }
+        pending.clear();
+        println!("{}", client.recv().map_err(|e| e.to_string())?.to_text());
+        Ok(())
+    };
+    let mut drained = false;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = parse_request(&line).map_err(|e| format!("{line:?}: {e:?}"))?;
+        match req {
+            Request::Query(_) => {
+                pending.push(req);
+                if pending.len() >= batch {
+                    roundtrip(&mut client, &mut pending)?;
+                }
+            }
+            other => {
+                // Control verbs are answered in order but never batched:
+                // flush queries first, then round-trip the verb alone.
+                roundtrip(&mut client, &mut pending)?;
+                let is_drain = matches!(other, Request::Drain);
+                pending.push(other);
+                roundtrip(&mut client, &mut pending)?;
+                if is_drain {
+                    drained = true;
+                    break;
+                }
+            }
+        }
+    }
+    roundtrip(&mut client, &mut pending)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    if !drained {
+        // The server drains on EOF; print its parting stats frame(s).
+        loop {
+            match client.recv() {
+                Ok(reply) => println!("{}", reply.to_text()),
+                Err(ServeError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let mut opts = Options {
         stats: false,
@@ -237,6 +352,9 @@ fn main() {
         json: false,
         metrics: false,
         serve: false,
+        connect: None,
+        binary: false,
+        batch: 1,
         threads: CountOptions::default().threads,
         no_memo: false,
         timeout_ms: None,
@@ -252,6 +370,26 @@ fn main() {
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
             "--serve" => opts.serve = true,
+            "--connect" => match args.next() {
+                Some(addr) => opts.connect = Some(addr),
+                None => {
+                    eprintln!("--connect needs a HOST:PORT address");
+                    std::process::exit(2);
+                }
+            },
+            "--binary" => opts.binary = true,
+            "--batch" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(k)) if (1..=presburger::serve::wire::MAX_BATCH).contains(&k) => {
+                    opts.batch = k;
+                }
+                _ => {
+                    eprintln!(
+                        "--batch needs a size between 1 and {}",
+                        presburger::serve::wire::MAX_BATCH
+                    );
+                    std::process::exit(2);
+                }
+            },
             "--no-memo" => opts.no_memo = true,
             "--threads" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => opts.threads = n,
@@ -288,6 +426,14 @@ fn main() {
     // not print them per query the way --stats does.
     presburger::enable_stats(opts.stats || opts.metrics);
     presburger::trace::enable_tracing(opts.trace);
+
+    if let Some(addr) = &opts.connect {
+        if let Err(e) = run_client(addr, opts.binary, opts.batch) {
+            eprintln!("client failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if opts.serve {
         let cfg = ServeConfig {

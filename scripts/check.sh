@@ -113,7 +113,9 @@ echo "==> serve smoke (admission, shedding, breaker, drain, replay determinism)"
 # a tiny queue; a fault drill (worker panics → breaker opens → degraded
 # bounds → half-open probe → recovery); graceful and zero-deadline
 # drain; the supervised shard-pool chaos drills (phase 6, DESIGN.md
-# §14); and a latency/throughput recording to BENCH_serve.json.
+# §14); the binary-codec equality and batched-throughput phase (phase
+# 7, DESIGN.md §15 — batched binary must strictly beat text); and a
+# latency/throughput recording to BENCH_serve.json (schema v4).
 echo "    clean run (records BENCH_serve.json)"
 cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 # The same suite must hold with a panic fault armed process-wide: the
@@ -140,6 +142,30 @@ for drill in kill:1:3 wedge:0:3; do
             cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
     done
 done
+
+echo "==> wire gate (binary codec: round-trips, byte-soup fuzz, text differential)"
+# The binary wire codec's own gate (DESIGN.md §15). The hard guarantee
+# is semantic byte-identity: every binary reply must decode to exactly
+# the text the text codec would have produced. Three layers:
+#   1. canonical round-trip properties plus a raised-volume byte-soup
+#      fuzz pass (truncations, bit flips, oversized length prefixes —
+#      decoders must stay total, never over-read, and always fail with
+#      a typed wire error);
+#   2. the differential replay of the golden serving sessions (normal,
+#      shed, breaker, kill-failover, wedge-restart) and the generated
+#      request stream, text vs binary, at 1 and 4 shards;
+#   3. the calculator's --connect client, text vs --binary --batch,
+#      end to end over a real socket.
+echo "    codec properties + fuzz smoke (PRESBURGER_WIRE_FUZZ_CASES=500)"
+PRESBURGER_WIRE_FUZZ_CASES=500 cargo test --release -q -p presburger-serve \
+    --test wire > /dev/null
+for shards in 1 4; do
+    echo "    differential gen-stream replay (PRESBURGER_WIRE_SHARDS=$shards)"
+    PRESBURGER_WIRE_SHARDS=$shards cargo test --release -q -p presburger-serve \
+        --test wire differential_gen_stream_over_pool > /dev/null
+done
+echo "    calculator --connect client differential (text vs binary)"
+cargo test --release -q --test calculator_client > /dev/null
 
 echo "==> metrics gate (exposition golden, flight-recorder drill, event log)"
 # The telemetry layer's own gate (DESIGN.md §12):

@@ -16,10 +16,11 @@
 //!   exercises both faults).
 
 use presburger::gen::{
-    cases_from_env, check_case, constraint_count, corpus, generate, seed_from_env, shrink_case,
-    BudgetChoice, GenConfig, Harness, Rng,
+    cases_from_env, check_case, constraint_count, corpus, generate, request_lines, seed_from_env,
+    shrink_case, BudgetChoice, GenConfig, Harness, Rng,
 };
 use presburger::omega::{parse_formula, Space};
+use presburger::serve::{parse_request, wire};
 use std::path::Path;
 
 /// Cases per run when `PRESBURGER_GEN_CASES` is unset: small enough for
@@ -176,4 +177,52 @@ fn corpus_mutations_never_panic_the_parser() {
         probe(&text.replace("&&", "||").replace(">=", "="));
     }
     println!("parser stayed total over {attempts} mutated corpus inputs");
+}
+
+/// The binary wire decoders must be total too: every generated request
+/// encoded to a frame, then truncated at every byte and splice-mutated
+/// the same way the parser corpus is, must decode or fail with a typed
+/// `wire` protocol error — never a panic, never a read past the
+/// buffer. This replays the serve-level mutation corpus at the
+/// workspace facade, companion to `crates/serve/tests/wire.rs`.
+#[test]
+fn corpus_mutations_never_panic_the_wire_decoders() {
+    let seed = seed_from_env();
+    let requests = request_lines(seed ^ 0xB750, 64, &GenConfig::default());
+    const SPLICES: [&[u8]; 6] = [
+        b"",
+        &[0x00],
+        &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF],
+        &[0x89],
+        &[0x80, 0x80, 0x80, 0x80, 0x80, 0x01],
+        b"count x {x : 1 <= x}\n",
+    ];
+
+    let mut attempts = 0u64;
+    let mut probe = |buf: &[u8], what: &str| {
+        attempts += 1;
+        match wire::decode_wire_request(buf) {
+            Ok((_, used)) => assert!(used <= buf.len(), "{what}: request over-read"),
+            Err(e) => assert_eq!(e.kind, "wire", "{what}: untyped request error"),
+        }
+        match wire::Reply::decode(buf) {
+            Ok((_, used)) => assert!(used <= buf.len(), "{what}: reply over-read"),
+            Err(e) => assert_eq!(e.kind, "wire", "{what}: untyped reply error"),
+        }
+    };
+    for r in &requests {
+        let req = parse_request(&r.line).expect("generated lines parse");
+        let frame = wire::encode_request(&req);
+        for cut in 0..=frame.len() {
+            probe(&frame[..cut], "truncation");
+            for junk in SPLICES {
+                let mut spliced = Vec::with_capacity(frame.len() + junk.len());
+                spliced.extend_from_slice(&frame[..cut]);
+                spliced.extend_from_slice(junk);
+                spliced.extend_from_slice(&frame[cut..]);
+                probe(&spliced, "splice");
+            }
+        }
+    }
+    println!("wire decoders stayed total over {attempts} mutated frames");
 }
