@@ -88,6 +88,7 @@ fn main() {
             presburger_trace::metrics::RequestObservation {
                 verb: presburger_trace::metrics::ReqVerb::Count,
                 outcome: presburger_trace::metrics::ReqOutcome::Ok,
+                lane: presburger_trace::metrics::ReqLane::Batch,
                 duration_us: u64::from(i),
                 queue_wait_us: 1,
                 govern_overhead_us: 1,
@@ -167,6 +168,48 @@ fn main() {
     }
     let per_wire_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(WIRE_LOOPS);
 
+    // 2g. Per-request cost of the admission layer (DESIGN.md §16): one
+    //     quota-ledger check (a token-bucket tick under the ledger
+    //     lock, cycling four client identities so the bucket map is
+    //     exercised), one lane push + strict-priority pop, one
+    //     load-derived hint and one detailed shed reason. Reasons are
+    //     only rendered on sheds and hints only on full queues, so
+    //     charging both to every request is conservative. Admission
+    //     runs once per request, before the engine — like routing, its
+    //     full cost is gated directly against E3.
+    let ledger = presburger_serve::QuotaLedger::new(
+        presburger_serve::QuotaConfig {
+            burst: 1,
+            refill_milli: 1000,
+            tick_ms: 100,
+        },
+        1024,
+    );
+    let mut lanes = presburger_serve::admission::LaneQueues::new(8);
+    let clients = ["c0", "c1", "c2", "c3"];
+    const ADMIT_LOOPS: u32 = 100_000;
+    let t = Instant::now();
+    for i in 0..ADMIT_LOOPS {
+        let client = clients[(i % 4) as usize];
+        std::hint::black_box(ledger.check(std::hint::black_box(client)));
+        let lane = presburger_serve::Lane::ALL[(i % 3) as usize];
+        lanes.push(lane, std::hint::black_box(i));
+        std::hint::black_box(lanes.pop());
+        std::hint::black_box(presburger_serve::admission::load_hint_ms(
+            std::hint::black_box(u64::from(i % 64)),
+            1_500,
+            50,
+            60_000,
+        ));
+        std::hint::black_box(presburger_serve::admission::shed_reason(
+            "queue_full",
+            lane,
+            std::hint::black_box(u64::from(i % 64)),
+            true,
+        ));
+    }
+    let per_admit_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(ADMIT_LOOPS);
+
     // 3. Median untraced E3 wall time.
     let mut walls: Vec<f64> = (0..15)
         .map(|_| {
@@ -199,6 +242,9 @@ fn main() {
     // Likewise a binary request is framed and unframed exactly once per
     // direction; the loop above already measures both directions.
     let wire_overhead_ms = per_wire_ns / 1e6;
+    // And a request is admitted exactly once (pool failover re-enqueues
+    // bypass metering), so the admission multiplier is also 1.
+    let admit_overhead_ms = per_admit_ns / 1e6;
     let pct = 100.0 * overhead_ms / median_ms;
     let gauge_pct = 100.0 * gauge_overhead_ms / median_ms;
     let fork_pct = 100.0 * fork_overhead_ms / median_ms;
@@ -206,6 +252,7 @@ fn main() {
     let memo_pct = 100.0 * memo_overhead_ms / median_ms;
     let route_pct = 100.0 * route_overhead_ms / median_ms;
     let wire_pct = 100.0 * wire_overhead_ms / median_ms;
+    let admit_pct = 100.0 * admit_overhead_ms / median_ms;
     println!("hooks per E3 run:        {hooks}");
     println!("disabled hook cost:      {per_hook_ns:.2} ns");
     println!("disabled gauge hook:     {per_gauge_ns:.2} ns");
@@ -214,6 +261,7 @@ fn main() {
     println!("disabled memo guard:     {per_memo_ns:.2} ns");
     println!("shard route cost:        {per_route_ns:.2} ns");
     println!("wire codec round trip:   {per_wire_ns:.2} ns");
+    println!("admission path cost:     {per_admit_ns:.2} ns");
     println!("E3 median wall:          {median_ms:.3} ms");
     println!("estimated overhead:      {overhead_ms:.4} ms ({pct:.2}% of E3)");
     println!("gauge/governor overhead: {gauge_overhead_ms:.4} ms ({gauge_pct:.2}% of E3)");
@@ -258,5 +306,12 @@ fn main() {
         eprintln!("FAIL: wire-codec overhead {wire_pct:.2}% >= 5%");
         std::process::exit(1);
     }
-    println!("OK: disabled-collector, disabled-governor, disabled-telemetry, disabled-memo, shard-routing and wire-codec overhead is below the 5% bound");
+    println!(
+        "admission overhead:      {admit_overhead_ms:.4} ms per request ({admit_pct:.2}% of E3)"
+    );
+    if admit_pct >= 5.0 {
+        eprintln!("FAIL: admission-path overhead {admit_pct:.2}% >= 5%");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-collector, disabled-governor, disabled-telemetry, disabled-memo, shard-routing, wire-codec and admission overhead is below the 5% bound");
 }

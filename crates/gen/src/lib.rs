@@ -55,7 +55,10 @@ pub mod shrink;
 
 pub use grammar::{generate, GenCase, GenConfig};
 pub use harness::{check_case, BudgetChoice, CaseFailure, Fault, Harness};
-pub use requests::{batched_request_lines, count_request, request_lines, GenRequest};
+pub use requests::{
+    admission_request_lines, batched_request_lines, count_request, request_lines, AdmissionMix,
+    GenRequest,
+};
 pub use rng::Rng;
 pub use shrink::{constraint_count, shrink_case};
 

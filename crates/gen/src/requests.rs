@@ -50,11 +50,61 @@ fn var_list(case: &GenCase) -> String {
         .join(",")
 }
 
+/// Admission-option mix for [`admission_request_lines`]: how often
+/// generated requests carry explicit `prio=` / `client=` options
+/// (DESIGN.md §16). Draws for these options happen *after* every draw
+/// [`request_lines`] makes, so a stream with a mix shares its formulas,
+/// budgets and verbs with the plain stream of the same seed — only the
+/// admission options differ.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionMix {
+    /// One in this many requests carries an explicit `prio=` (drawn
+    /// uniformly over `interactive`/`batch`/`background`); the rest
+    /// ride the default lane. At least 1 (= every request).
+    pub prio_one_in: u64,
+    /// One in this many requests carries an explicit `client=`; the
+    /// rest fall back to the connection-scoped identity. At least 1.
+    pub client_one_in: u64,
+    /// Distinct client identities (`c0`…`c{clients-1}`) to draw from.
+    pub clients: u64,
+}
+
+impl Default for AdmissionMix {
+    fn default() -> AdmissionMix {
+        AdmissionMix {
+            prio_one_in: 2,
+            client_one_in: 2,
+            clients: 4,
+        }
+    }
+}
+
 /// Generates `n` deterministic request lines from `seed`. Request `i`
 /// draws from `Rng::new(seed).fork(i)`, so any single request can be
 /// re-generated in isolation; identical `(seed, n, cfg)` yield
 /// byte-identical lines.
 pub fn request_lines(seed: u64, n: usize, cfg: &GenConfig) -> Vec<GenRequest> {
+    request_stream(seed, n, cfg, None)
+}
+
+/// [`request_lines`] plus deterministic `prio=` / `client=` admission
+/// options per `mix`. Same seed ⇒ same underlying requests as the
+/// plain stream; the admission draws ride after them.
+pub fn admission_request_lines(
+    seed: u64,
+    n: usize,
+    cfg: &GenConfig,
+    mix: &AdmissionMix,
+) -> Vec<GenRequest> {
+    request_stream(seed, n, cfg, Some(mix))
+}
+
+fn request_stream(
+    seed: u64,
+    n: usize,
+    cfg: &GenConfig,
+    mix: Option<&AdmissionMix>,
+) -> Vec<GenRequest> {
     let base = Rng::new(seed);
     (0..n as u64)
         .map(|i| {
@@ -77,7 +127,22 @@ pub fn request_lines(seed: u64, n: usize, cfg: &GenConfig) -> Vec<GenRequest> {
             }
             let vars = var_list(&case);
             let formula = case.union().to_string(&case.space);
-            let line = if rng.chance(1, 5) && !case.vars.is_empty() {
+            let is_sum = rng.chance(1, 5) && !case.vars.is_empty();
+            // Admission options draw strictly after everything above,
+            // so enabling a mix never perturbs the base stream.
+            if let Some(mix) = mix {
+                if rng.chance(1, mix.prio_one_in.max(1)) {
+                    const LANES: [&str; 3] = ["interactive", "batch", "background"];
+                    opts.push_str(&format!(
+                        "prio={} ",
+                        LANES[rng.below(LANES.len() as u64) as usize]
+                    ));
+                }
+                if rng.chance(1, mix.client_one_in.max(1)) {
+                    opts.push_str(&format!("client=c{} ", rng.below(mix.clients.max(1))));
+                }
+            }
+            let line = if is_sum {
                 // a summation request: a small affine polynomial over
                 // the counted variables
                 let poly = case
@@ -159,6 +224,45 @@ mod tests {
             batched.iter().map(Vec::len).collect::<Vec<_>>(),
             again.iter().map(Vec::len).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn admission_mix_rides_on_the_plain_stream() {
+        let cfg = GenConfig::default();
+        let plain = request_lines(13, 40, &cfg);
+        let mixed = admission_request_lines(13, 40, &cfg, &AdmissionMix::default());
+        // Deterministic.
+        let again = admission_request_lines(13, 40, &cfg, &AdmissionMix::default());
+        assert_eq!(
+            mixed.iter().map(|r| &r.line).collect::<Vec<_>>(),
+            again.iter().map(|r| &r.line).collect::<Vec<_>>()
+        );
+        let mut saw_prio = false;
+        let mut saw_client = false;
+        for (p, m) in plain.iter().zip(&mixed) {
+            // Stripping the admission options recovers the plain line:
+            // the admission draws never perturb the base stream.
+            let stripped: String = m
+                .line
+                .split(' ')
+                .filter(|tok| !tok.starts_with("prio=") && !tok.starts_with("client="))
+                .collect::<Vec<_>>()
+                .join(" ");
+            assert_eq!(stripped, p.line);
+            saw_prio |= m.line.contains("prio=");
+            saw_client |= m.line.contains("client=");
+        }
+        assert!(saw_prio && saw_client, "mix must actually fire");
+        // Every mixed line still parses under the serve grammar? That
+        // is asserted end-to-end by serve_stress phase 8; here we keep
+        // the crate dependency-free and check shape only.
+        for m in &mixed {
+            assert!(
+                !m.line.contains("deadline_ms="),
+                "replay-unsafe: {}",
+                m.line
+            );
+        }
     }
 
     #[test]

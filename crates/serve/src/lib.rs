@@ -11,7 +11,14 @@
 //!
 //! * **Admission control** — a bounded queue; a full queue (or a
 //!   draining server) answers `SHED retry_after_ms=…` instead of
-//!   queueing unboundedly ([`server::Server`]).
+//!   queueing unboundedly ([`server::Server`]). In front of it sits a
+//!   deadline-aware admission layer ([`admission`], DESIGN.md §16):
+//!   strict-priority lanes (`prio=interactive|batch|background`) with
+//!   a background anti-starvation credit, per-client token-bucket
+//!   quotas (`client=…`, refilled by a deterministic logical clock so
+//!   transcripts stay byte-identical), eviction of requests whose
+//!   deadline expired while queued (answered with §4.6 bounds instead
+//!   of burning a worker), and load-derived `retry_after_ms` hints.
 //! * **Panic isolation** — every request runs under `catch_unwind`; a
 //!   poisoned request answers `ERR … internal` and the worker lives.
 //! * **Circuit breaking** — after K consecutive internal/deadline
@@ -48,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
@@ -59,6 +67,7 @@ mod sync;
 pub mod telemetry;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, Lane, QuotaConfig, QuotaDecision, QuotaLedger};
 pub use breaker::{Breaker, Plan};
 pub use cache::ResultCache;
 pub use chaos::{Chaos, ChaosSite};

@@ -16,7 +16,10 @@
 //!
 //! Blank lines and lines starting with `#` are ignored. Option keys:
 //! `deadline_ms`, `max_splinters`, `max_dnf_clauses`, `max_depth`,
-//! `max_pieces`, `max_coeff_bits`, `threads`.
+//! `max_pieces`, `max_coeff_bits`, `threads`, `prio` (a priority lane:
+//! `interactive`, `batch` or `background` — see [`crate::admission`]),
+//! and `client` (a quota identity, same charset as an id; defaults to
+//! a connection-scoped identity when quotas are on).
 //!
 //! # Response grammar (exactly one line per request, in request order
 //! per connection)
@@ -27,8 +30,17 @@
 //!           | "ERR" SP id SP kind SP detail
 //!           | "SHED" SP id SP "retry_after_ms=" INT SP "reason=" reason
 //!           | "PONG" [SP id] | "STATS" SP counters | "BYE"
-//! reason   := "queue_full" | "draining"
+//! reason   := cause (":" detail)*
+//! cause    := "queue_full" | "draining" | "quota"
 //! ```
+//!
+//! A `reason` is always a single space-free token. Its first
+//! colon-separated segment is the shed *cause*; with
+//! [`AdmissionConfig::detail`](crate::admission::AdmissionConfig) the
+//! server appends the shedding lane and the computed wait
+//! (`reason=quota:lane=batch:wait_ms=200`). Clients that only care
+//! about the cause match the prefix up to the first `:`
+//! ([`crate::retry::shed_cause`]).
 //!
 //! `why` on a bounded reply is the [`CountError::kind`] that degraded
 //! the exact pass (`budget`, `deadline`, …), `breaker_open` when the
@@ -46,6 +58,7 @@
 //! its own single shard — see `server::shard` and DESIGN.md §14). The
 //! legacy one-line `stats` remains unchanged.
 
+use crate::admission::Lane;
 use presburger_counting::Budgets;
 use std::fmt;
 use std::time::Duration;
@@ -83,6 +96,8 @@ pub struct Overrides {
     pub max_coeff_bits: Option<u64>,
     /// Clause-pipeline worker threads for this request.
     pub threads: Option<usize>,
+    /// Priority lane (`prio=`); `None` rides the default `batch` lane.
+    pub prio: Option<Lane>,
 }
 
 impl Overrides {
@@ -106,6 +121,9 @@ impl Overrides {
     /// A canonical `key=value` rendering for the cache key (budget
     /// overrides change whether an answer is exact or bounded, so
     /// requests with different overrides must not share cache entries).
+    /// `prio` and `client` are deliberately excluded: admission
+    /// metadata never changes the answer, so all lanes and clients
+    /// share one cache entry per canonical query.
     pub fn cache_key_part(&self) -> String {
         let mut out = String::new();
         let mut push = |k: &str, v: Option<u64>| {
@@ -143,10 +161,26 @@ pub struct Query {
     pub formula_text: String,
     /// Per-request governor overrides.
     pub overrides: Overrides,
+    /// Quota identity (`client=`). `None` until the connection driver
+    /// injects its connection-scoped identity (only when quotas are
+    /// on), so requests without an explicit client still meter fairly
+    /// per connection. Never part of the cache or routing key.
+    pub client: Option<String>,
 }
 
-/// One parsed request line.
+impl Query {
+    /// The lane this query rides ([`Lane::Batch`] without a `prio=`).
+    pub fn lane(&self) -> Lane {
+        self.overrides.prio.unwrap_or(Lane::Batch)
+    }
+}
+
+/// One parsed request line. `Query` dominates the enum's size (the
+/// admission options widened it), but a parsed request is moved into
+/// the queue exactly once — boxing would add an allocation per request
+/// to save stack bytes nothing holds onto.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Request {
     /// A count/sum query.
     Query(Query),
@@ -306,10 +340,41 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 
     // Options, then (for sum) the polynomial text.
     let mut overrides = Overrides::default();
+    let mut client: Option<String> = None;
     let mut poly_parts: Vec<&str> = Vec::new();
     for tok in &head[2..] {
         if let Some((key, value)) = tok.split_once('=') {
             if poly_parts.is_empty() {
+                // String-valued admission options come first; the rest
+                // are unsigned integers.
+                match key {
+                    "prio" => {
+                        overrides.prio = Some(Lane::parse(value).ok_or_else(|| {
+                            err(
+                                Some(id),
+                                format!(
+                                    "unknown priority {value:?} (expected interactive, batch \
+                                     or background)"
+                                ),
+                            )
+                        })?);
+                        continue;
+                    }
+                    "client" => {
+                        if !valid_id(value) {
+                            return Err(err(
+                                Some(id),
+                                format!(
+                                    "invalid client {value:?} (ASCII [A-Za-z0-9_.:-], at most \
+                                     {MAX_ID_LEN} bytes)"
+                                ),
+                            ));
+                        }
+                        client = Some(value.to_string());
+                        continue;
+                    }
+                    _ => {}
+                }
                 let parsed: Result<u64, _> = value.parse();
                 let slot = match key {
                     "deadline_ms" => Some(&mut overrides.deadline_ms),
@@ -377,6 +442,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         vars,
         formula_text: formula_text.to_string(),
         overrides,
+        client,
     }))
 }
 
@@ -435,6 +501,32 @@ mod tests {
         assert_eq!(q.overrides.max_splinters, Some(8));
         assert_eq!(q.formula_text.trim(), "1 <= i <= j <= n");
         assert!(q.poly_text.is_none());
+    }
+
+    #[test]
+    fn parses_prio_and_client_options() {
+        let q = query("count r1 prio=interactive client=alice {x : 1 <= x <= 9}");
+        assert_eq!(q.overrides.prio, Some(Lane::Interactive));
+        assert_eq!(q.lane(), Lane::Interactive);
+        assert_eq!(q.client.as_deref(), Some("alice"));
+        let q = query("sum s1 prio=background x {x : 1 <= x <= 3}");
+        assert_eq!(q.lane(), Lane::Background);
+        assert!(q.client.is_none());
+        // The default lane is batch, and admission metadata never
+        // reaches the cache key.
+        let q = query("count r2 {x : x = 1}");
+        assert_eq!(q.lane(), Lane::Batch);
+        let keyed = query("count r3 prio=interactive client=bob deadline_ms=7 {x : x = 1}");
+        assert_eq!(keyed.overrides.cache_key_part(), "deadline_ms=7 ");
+        // Bad values are protocol errors with the id recovered.
+        for line in [
+            "count r4 prio=urgent {x : x = 1}",
+            "count r4 client=bad!id {x : x = 1}",
+            "count r4 client= {x : x = 1}",
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.id.as_deref(), Some("r4"), "line {line:?}");
+        }
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! of the request id and the attempt number* — so stress harnesses and
 //! drills replay the exact same schedule, while distinct requests still
 //! de-correlate.
+//!
+//! Quota sheds are the exception ([`shed_cause`] == `"quota"`,
+//! DESIGN.md §16): the server's `retry_after_ms` is not an estimate but
+//! the *computed* refill time of a deterministic token bucket, so the
+//! helpers sleep exactly the hint — jitter would only delay past the
+//! refill, and retrying hot before it is guaranteed to shed again.
 
 use crate::shard::{fnv1a, splitmix64};
 use std::thread;
@@ -61,6 +67,29 @@ pub fn shed_hint_ms(line: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// The root cause of a `SHED` line: the `reason=` token's first
+/// `:`-separated segment (`"quota"` out of
+/// `reason=quota:lane=batch:wait_ms=200`), ignoring any detail
+/// segments the server appended (see [`crate::protocol`]'s response
+/// grammar). `None` for non-shed lines and sheds without a `reason=`.
+pub fn shed_cause(line: &str) -> Option<&str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("reason="))
+        .and_then(|r| r.split(':').next())
+}
+
+/// The sleep before retrying a shed request: quota sheds sleep exactly
+/// the server's computed refill hint (deterministic, so jitter only
+/// hurts); everything else gets the jittered exponential
+/// [`RetryPolicy::backoff`].
+fn shed_delay(policy: &RetryPolicy, id: &str, attempt: u32, line: &str) -> Duration {
+    let hint = shed_hint_ms(line);
+    if shed_cause(line) == Some("quota") {
+        return Duration::from_millis(hint.unwrap_or(policy.base_delay_ms));
+    }
+    policy.backoff(id, attempt, hint)
+}
+
 /// Sends a request via `send` until the reply is not a `SHED`, or the
 /// policy's attempts are exhausted (the last `SHED` line is then
 /// returned — the caller still gets exactly one reply line either way).
@@ -74,7 +103,7 @@ pub fn submit_with_retry(
     let mut line = send();
     let mut attempt = 0;
     while line.starts_with("SHED") && attempt + 1 < attempts {
-        thread::sleep(policy.backoff(id, attempt, shed_hint_ms(&line)));
+        thread::sleep(shed_delay(policy, id, attempt, &line));
         line = send();
         attempt += 1;
     }
@@ -114,7 +143,7 @@ pub fn submit_batch_with_retry(
         }
         let delay = pending
             .iter()
-            .map(|&i| policy.backoff(&ids[i], attempt, shed_hint_ms(&replies[i])))
+            .map(|&i| shed_delay(policy, &ids[i], attempt, &replies[i]))
             .max()
             .unwrap_or_default();
         thread::sleep(delay);
@@ -143,6 +172,49 @@ mod tests {
         );
         assert_eq!(shed_hint_ms("OK q1 exact 9"), None);
         assert_eq!(shed_hint_ms("SHED q1 retry_after_ms=zap draining"), None);
+    }
+
+    #[test]
+    fn shed_cause_extracts_the_first_reason_segment() {
+        assert_eq!(
+            shed_cause("SHED q1 retry_after_ms=200 reason=quota"),
+            Some("quota")
+        );
+        assert_eq!(
+            shed_cause("SHED q1 retry_after_ms=200 reason=quota:lane=batch:wait_ms=200"),
+            Some("quota")
+        );
+        assert_eq!(
+            shed_cause("SHED q1 retry_after_ms=50 reason=queue_full:lane=interactive"),
+            Some("queue_full")
+        );
+        assert_eq!(shed_cause("SHED q1 retry_after_ms=50 queue_full"), None);
+        assert_eq!(shed_cause("OK q1 exact 9"), None);
+    }
+
+    #[test]
+    fn quota_sheds_sleep_exactly_the_hint() {
+        let p = RetryPolicy::default();
+        // A quota shed's delay is the hint verbatim — no jitter, no
+        // exponential floor — because the hint is the bucket's computed
+        // refill time.
+        assert_eq!(
+            shed_delay(
+                &p,
+                "q1",
+                0,
+                "SHED q1 retry_after_ms=237 reason=quota:lane=batch"
+            ),
+            Duration::from_millis(237)
+        );
+        assert_eq!(
+            shed_delay(&p, "q1", 3, "SHED q1 retry_after_ms=237 reason=quota"),
+            Duration::from_millis(237)
+        );
+        // Queue-full sheds keep the jittered backoff (attempt 0, hint
+        // 237 ⇒ within [118.5, 237) ms).
+        let d = shed_delay(&p, "q1", 0, "SHED q1 retry_after_ms=237 reason=queue_full");
+        assert!(d >= Duration::from_micros(118_500) && d < Duration::from_millis(237));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! and per-connection FIFO writers fix the interleaving. `serve_stress`
 //! asserts byte-identical transcripts across runs and worker counts.
 
+use crate::admission::{self, AdmissionConfig, Lane, LaneQueues, QuotaDecision, QuotaLedger};
 use crate::breaker::{Breaker, Plan};
 use crate::cache::ResultCache;
 use crate::chaos::{self, ChaosSite};
@@ -38,9 +39,8 @@ use presburger_counting::{
 };
 use presburger_omega::{parse_affine, parse_formula, Space};
 use presburger_polyq::QPoly;
-use presburger_trace::metrics::{ReqCodec, ReqOutcome, ReqVerb};
+use presburger_trace::metrics::{AdmitDecision, ReqCodec, ReqLane, ReqOutcome, ReqVerb};
 use presburger_trace::{self as trace, Counter};
-use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -99,6 +99,11 @@ pub struct ServeConfig {
     /// Deterministic chaos injection shared by every shard of a pool
     /// (see [`crate::chaos`]). `None` = no chaos.
     pub chaos: Option<Arc<chaos::Chaos>>,
+    /// Deadline-aware admission control: priority lanes, per-client
+    /// quotas, expired-request eviction, load-derived hints (see
+    /// [`crate::admission`], DESIGN.md §16). The defaults preserve the
+    /// legacy single-FIFO behavior byte-for-byte.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +125,7 @@ impl Default for ServeConfig {
             hold: None,
             shard_index: 0,
             chaos: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -216,7 +222,10 @@ impl Slot {
 struct Job {
     query: Query,
     slot: Arc<Slot>,
-    /// Admission time, for the queue-wait histogram.
+    /// The priority lane the job was admitted on.
+    lane: Lane,
+    /// Admission time, for the queue-wait histogram and expired-request
+    /// eviction.
     enqueued: Instant,
 }
 
@@ -228,6 +237,11 @@ pub(crate) enum Refusal {
     Draining,
     /// The bounded admission queue is full — genuine backpressure.
     QueueFull,
+    /// The client is over its token-bucket quota ([`QuotaLedger`]).
+    /// Only front doors produce this (never [`Handle::try_enqueue`]):
+    /// metering happens once per arrival, so a pool's failover loop
+    /// cannot double-charge the shared ledger.
+    Quota,
 }
 
 /// A refused enqueue: the reason plus the rendered `SHED` line a caller
@@ -320,10 +334,15 @@ struct Inner {
     /// Bumped on every job pop and completion. A shard with inflight
     /// work whose heartbeat stops advancing is wedged.
     heartbeat: AtomicU64,
+    /// Per-client quota ledger; `None` when quotas are off. A shard
+    /// pool passes one shared ledger to every shard
+    /// ([`Server::start_shared`]), though only the pool's front door
+    /// meters it.
+    ledger: Option<Arc<QuotaLedger>>,
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: LaneQueues<Job>,
     draining: bool,
     shutdown: bool,
 }
@@ -343,8 +362,21 @@ pub struct Handle {
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts the worker pool. A quota ledger (when configured) is
+    /// created fresh for this server; shard pools use
+    /// [`Server::start_shared`] so all shards meter one ledger.
     pub fn start(cfg: ServeConfig) -> Server {
+        let ledger = cfg
+            .admission
+            .quota
+            .map(|q| Arc::new(QuotaLedger::new(q, cfg.admission.max_clients)));
+        Server::start_shared(cfg, ledger)
+    }
+
+    /// Starts the worker pool with an externally owned quota ledger —
+    /// how a [`crate::shard::ShardPool`] gives every shard (including
+    /// supervisor restarts) the same per-client clocks.
+    pub(crate) fn start_shared(cfg: ServeConfig, ledger: Option<Arc<QuotaLedger>>) -> Server {
         // Cross-request memoization: the shared read-mostly tier makes
         // sub-problem results (eliminations, Smith forms, Faulhaber
         // polynomials) O(1) hits across requests and worker threads.
@@ -358,7 +390,7 @@ impl Server {
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: LaneQueues::new(cfg.admission.background_credit),
                 draining: false,
                 shutdown: false,
             }),
@@ -372,6 +404,7 @@ impl Server {
             telemetry: Telemetry::new(cfg.telemetry.clone()),
             workers_alive: AtomicUsize::new(0),
             heartbeat: AtomicU64::new(0),
+            ledger,
             cfg,
         });
         let handles = (0..workers)
@@ -443,16 +476,79 @@ impl Server {
 impl Handle {
     /// Admits a query, or sheds it. Always returns a slot that will be
     /// (or already is) fulfilled with exactly one response line.
+    ///
+    /// This is a quota **front door**: the client's logical clock
+    /// advances exactly once per call, before any queue interaction, so
+    /// the decision is a pure function of the client's attempt sequence.
     pub fn submit(&self, query: Query) -> Arc<Slot> {
         let verb = query.verb;
+        let lane = query.lane();
+        // Quota first: a client pays for offered load, whatever becomes
+        // of the request afterwards.
+        if let Some(line) = self.check_quota(&query) {
+            self.note_shed(Refusal::Quota, verb, lane);
+            return Slot::ready(line);
+        }
+        // A request that arrives already expired (deadline_ms=0) is
+        // answered with the budgeted §4.6 bounds instead of queueing.
+        if self.inner.cfg.admission.evict_expired
+            && effective_deadline_ms(&self.inner.cfg, &query) == Some(0)
+        {
+            return Slot::ready(self.evict_reply(&query, lane));
+        }
         let slot = Slot::new();
         match self.try_enqueue(query, slot.clone()) {
             Ok(()) => slot,
             Err(refused) => {
-                self.note_shed(refused.reason, verb);
+                self.note_shed(refused.reason, verb, lane);
                 Slot::ready(refused.line)
             }
         }
+    }
+
+    /// Meters one admission attempt against the quota ledger; returns
+    /// the rendered `SHED` line when the client is over quota.
+    pub(crate) fn check_quota(&self, query: &Query) -> Option<String> {
+        let ledger = self.inner.ledger.as_ref()?;
+        let client = query.client.as_deref().unwrap_or(ANON_CLIENT);
+        match ledger.check(client) {
+            QuotaDecision::Admit => None,
+            QuotaDecision::Shed { retry_after_ms } => {
+                let reason = admission::shed_reason(
+                    "quota",
+                    query.lane(),
+                    retry_after_ms,
+                    self.inner.cfg.admission.detail,
+                );
+                Some(shed_line(&query.id, retry_after_ms, &reason))
+            }
+        }
+    }
+
+    /// Answers an expired request with the budgeted §4.6 bounds (`OK …
+    /// bounded evicted lo ; hi`) and tallies it as admitted + ok — the
+    /// request *was* accepted and answered, just without burning a
+    /// governed run.
+    pub(crate) fn evict_reply(&self, query: &Query, lane: Lane) -> String {
+        let inner = &self.inner;
+        inner.stats.bump(&inner.stats.admitted);
+        trace::bump(Counter::ServeRequests);
+        let line = bounds_reply(
+            query,
+            &inner.cfg.default_budgets,
+            inner.cfg.default_deadline_ms,
+            "evicted",
+        );
+        if line.starts_with("OK") {
+            inner.stats.bump(&inner.stats.ok);
+        } else {
+            inner.stats.bump(&inner.stats.errors);
+        }
+        inner
+            .telemetry
+            .metrics
+            .observe_admission(req_lane(lane), AdmitDecision::Evicted);
+        line
     }
 
     /// Admits a whole batch under **one** queue-lock reservation: every
@@ -465,35 +561,70 @@ impl Handle {
     pub fn submit_batch(&self, queries: Vec<Query>) -> Vec<Arc<Slot>> {
         let inner = &self.inner;
         let mut slots = Vec::with_capacity(queries.len());
-        let mut sheds: Vec<(Refusal, Verb)> = Vec::new();
+        let mut sheds: Vec<(Refusal, Verb, Lane)> = Vec::new();
+        // Inner requests that arrived already expired get their
+        // positional `OK bounded evicted` reply *after* the lock drops:
+        // the decision is made in the critical section (deterministic),
+        // the bounds pass is not run under it.
+        let mut evictions: Vec<(Arc<Slot>, Query, Lane)> = Vec::new();
         let mut admitted = 0usize;
         {
             let mut q = lock_ok(&inner.queue);
             for query in queries {
+                let lane = query.lane();
+                // Quota meters every batched arrival, admitted or not —
+                // positionally, in frame order (ledger locks nest under
+                // the queue lock; nothing takes them the other way).
+                if let Some(line) = self.check_quota(&query) {
+                    slots.push(Slot::ready(line));
+                    sheds.push((Refusal::Quota, query.verb, lane));
+                    continue;
+                }
                 if q.draining || q.shutdown {
+                    let reason = admission::shed_reason(
+                        "draining",
+                        lane,
+                        inner.cfg.retry_after_ms,
+                        inner.cfg.admission.detail,
+                    );
                     slots.push(Slot::ready(shed_line(
                         &query.id,
                         inner.cfg.retry_after_ms,
-                        "draining",
+                        &reason,
                     )));
-                    sheds.push((Refusal::Draining, query.verb));
+                    sheds.push((Refusal::Draining, query.verb, lane));
+                    continue;
+                }
+                if inner.cfg.admission.evict_expired
+                    && effective_deadline_ms(&inner.cfg, &query) == Some(0)
+                {
+                    let slot = Slot::new();
+                    slots.push(slot.clone());
+                    evictions.push((slot, query, lane));
                     continue;
                 }
                 if q.jobs.len() >= inner.cfg.queue_depth {
-                    slots.push(Slot::ready(shed_line(
-                        &query.id,
-                        inner.cfg.retry_after_ms,
+                    let hint = self.queue_full_hint(q.jobs.len() as u64, lane);
+                    let reason = admission::shed_reason(
                         "queue_full",
-                    )));
-                    sheds.push((Refusal::QueueFull, query.verb));
+                        lane,
+                        hint,
+                        inner.cfg.admission.detail,
+                    );
+                    slots.push(Slot::ready(shed_line(&query.id, hint, &reason)));
+                    sheds.push((Refusal::QueueFull, query.verb, lane));
                     continue;
                 }
                 let slot = Slot::new();
-                q.jobs.push_back(Job {
-                    query,
-                    slot: slot.clone(),
-                    enqueued: Instant::now(),
-                });
+                q.jobs.push(
+                    lane,
+                    Job {
+                        query,
+                        slot: slot.clone(),
+                        lane,
+                        enqueued: Instant::now(),
+                    },
+                );
                 admitted += 1;
                 let depth = q.jobs.len() as u64;
                 inner.stats.bump(&inner.stats.admitted);
@@ -503,19 +634,43 @@ impl Handle {
                     .fetch_max(depth, Ordering::Relaxed);
                 trace::record_max(Counter::ServeQueueDepthPeak, depth);
                 trace::bump(Counter::ServeRequests);
+                inner
+                    .telemetry
+                    .metrics
+                    .observe_admission(req_lane(lane), AdmitDecision::Admit);
                 slots.push(slot);
             }
         }
         // Tallies and wakeups ride outside the critical section.
-        for (reason, verb) in sheds {
-            self.note_shed(reason, verb);
+        for (reason, verb, lane) in sheds {
+            self.note_shed(reason, verb, lane);
         }
         match admitted {
             0 => {}
             1 => inner.queue_cv.notify_one(),
             _ => inner.queue_cv.notify_all(),
         }
+        for (slot, query, lane) in evictions {
+            slot.fulfil(self.evict_reply(&query, lane));
+        }
         slots
+    }
+
+    /// The `retry_after_ms` on a `queue_full` shed: the static default,
+    /// or — with [`AdmissionConfig::load_hints`] — queue depth × the
+    /// lane's observed mean service time.
+    fn queue_full_hint(&self, depth: u64, lane: Lane) -> u64 {
+        let cfg = &self.inner.cfg;
+        if !cfg.admission.load_hints {
+            return cfg.retry_after_ms;
+        }
+        let mean_us = self
+            .inner
+            .telemetry
+            .metrics
+            .lane_service(req_lane(lane))
+            .mean() as u64;
+        admission::load_hint_ms(depth, mean_us, cfg.retry_after_ms, LOAD_HINT_CAP_MS)
     }
 
     /// Re-admits an orphaned query, re-using the caller's existing slot
@@ -533,24 +688,38 @@ impl Handle {
     /// mid-restart refusals instead of delivering them.
     pub(crate) fn try_enqueue(&self, query: Query, slot: Arc<Slot>) -> Result<(), Refused> {
         let inner = &self.inner;
+        let lane = query.lane();
         let mut q = lock_ok(&inner.queue);
         if q.draining || q.shutdown {
+            let reason = admission::shed_reason(
+                "draining",
+                lane,
+                inner.cfg.retry_after_ms,
+                inner.cfg.admission.detail,
+            );
             return Err(Refused {
                 reason: Refusal::Draining,
-                line: shed_line(&query.id, inner.cfg.retry_after_ms, "draining"),
+                line: shed_line(&query.id, inner.cfg.retry_after_ms, &reason),
             });
         }
         if q.jobs.len() >= inner.cfg.queue_depth {
+            let hint = self.queue_full_hint(q.jobs.len() as u64, lane);
+            let reason =
+                admission::shed_reason("queue_full", lane, hint, inner.cfg.admission.detail);
             return Err(Refused {
                 reason: Refusal::QueueFull,
-                line: shed_line(&query.id, inner.cfg.retry_after_ms, "queue_full"),
+                line: shed_line(&query.id, hint, &reason),
             });
         }
-        q.jobs.push_back(Job {
-            query,
-            slot,
-            enqueued: Instant::now(),
-        });
+        q.jobs.push(
+            lane,
+            Job {
+                query,
+                slot,
+                lane,
+                enqueued: Instant::now(),
+            },
+        );
         let depth = q.jobs.len() as u64;
         inner.stats.bump(&inner.stats.admitted);
         inner
@@ -559,20 +728,40 @@ impl Handle {
             .fetch_max(depth, Ordering::Relaxed);
         trace::record_max(Counter::ServeQueueDepthPeak, depth);
         trace::bump(Counter::ServeRequests);
+        inner
+            .telemetry
+            .metrics
+            .observe_admission(req_lane(lane), AdmitDecision::Admit);
         drop(q);
         inner.queue_cv.notify_one();
         Ok(())
     }
 
-    /// Tallies a shed that was actually delivered to a client.
-    pub(crate) fn note_shed(&self, reason: Refusal, verb: Verb) {
+    /// Tallies a shed that was actually delivered to a client. Quota
+    /// sheds fold into `shed_queue` on the pinned `STATS` line; the
+    /// Prometheus `presburger_admission_total` family keeps the split.
+    pub(crate) fn note_shed(&self, reason: Refusal, verb: Verb, lane: Lane) {
         let inner = &self.inner;
-        match reason {
-            Refusal::Draining => inner.stats.bump(&inner.stats.shed_drain),
-            Refusal::QueueFull => inner.stats.bump(&inner.stats.shed_queue),
-        }
+        let decision = match reason {
+            Refusal::Draining => {
+                inner.stats.bump(&inner.stats.shed_drain);
+                AdmitDecision::ShedDrain
+            }
+            Refusal::QueueFull => {
+                inner.stats.bump(&inner.stats.shed_queue);
+                AdmitDecision::ShedQueue
+            }
+            Refusal::Quota => {
+                inner.stats.bump(&inner.stats.shed_queue);
+                AdmitDecision::ShedQuota
+            }
+        };
         trace::bump(Counter::ServeSheds);
         inner.telemetry.metrics.observe_shed(req_verb(verb));
+        inner
+            .telemetry
+            .metrics
+            .observe_admission(req_lane(lane), decision);
     }
 
     /// Gracefully drains the server: stops admitting, waits for queued
@@ -711,6 +900,29 @@ fn req_verb(verb: Verb) -> ReqVerb {
     }
 }
 
+/// Maps an admission lane to its telemetry label.
+fn req_lane(lane: Lane) -> ReqLane {
+    match lane {
+        Lane::Interactive => ReqLane::Interactive,
+        Lane::Batch => ReqLane::Batch,
+        Lane::Background => ReqLane::Background,
+    }
+}
+
+/// The quota identity of a query that reached an in-process front door
+/// without a `client=` option or a connection-scoped identity. Outside
+/// the id charset, so it can never collide with a real client.
+const ANON_CLIENT: &str = "@anon";
+
+/// Cap on a load-derived `queue_full` hint.
+const LOAD_HINT_CAP_MS: u64 = 60_000;
+
+/// The deadline a request is subject to while *queued*: its own
+/// `deadline_ms` override, falling back to the server default.
+pub(crate) fn effective_deadline_ms(cfg: &ServeConfig, query: &Query) -> Option<u64> {
+    query.overrides.deadline_ms.or(cfg.default_deadline_ms)
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     inner.telemetry.worker_init();
     let telemetry_on = inner.telemetry.active();
@@ -721,7 +933,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         let job = {
             let mut q = lock_ok(&inner.queue);
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some((_, job)) = q.jobs.pop() {
                     break job;
                 }
                 if q.shutdown {
@@ -763,18 +975,30 @@ fn worker_loop(inner: &Arc<Inner>) {
         let queue_wait = job.enqueued.elapsed();
         let baseline = inner.telemetry.counter_baseline();
         let started = Instant::now();
+        // Expired in queue: answer immediately with the budgeted §4.6
+        // bounds (the same rescue path shards use) instead of burning a
+        // governed run on a reply the client has given up on.
+        let evict = inner.cfg.admission.evict_expired
+            && effective_deadline_ms(&inner.cfg, &job.query)
+                .is_some_and(|d| queue_wait >= Duration::from_millis(d));
         // The outer unwind boundary: a panic anywhere in processing —
         // including inside rendering — poisons only this request.
-        let reply =
-            catch_unwind(AssertUnwindSafe(|| process(inner, &job.query))).unwrap_or_else(|_| {
-                inner.stats.bump(&inner.stats.errors);
-                Reply {
-                    line: err_line(&job.query.id, "internal", "request processing panicked"),
-                    outcome: ReqOutcome::Err,
-                    engine: Duration::ZERO,
-                    formula: job.query.formula_text.clone(),
-                }
-            });
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            if evict {
+                evicted_reply(inner, &job.query, job.lane)
+            } else {
+                process(inner, &job.query, queue_wait)
+            }
+        }))
+        .unwrap_or_else(|_| {
+            inner.stats.bump(&inner.stats.errors);
+            Reply {
+                line: err_line(&job.query.id, "internal", "request processing panicked"),
+                outcome: ReqOutcome::Err,
+                engine: Duration::ZERO,
+                formula: job.query.formula_text.clone(),
+            }
+        });
         let total = started.elapsed();
         // Fulfil first: telemetry rides behind the response, never in
         // front of it.
@@ -790,6 +1014,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 id: job.query.id.clone(),
                 verb: req_verb(job.query.verb),
                 outcome: reply.outcome,
+                lane: req_lane(job.lane),
                 queue_wait,
                 total,
                 engine: reply.engine,
@@ -816,9 +1041,41 @@ struct Reply {
     formula: String,
 }
 
+/// The pop-time eviction reply: a queued-past-deadline request answered
+/// with the budgeted §4.6 bounds. Counted as `ok` (the request *was*
+/// answered) plus an `evicted` admission decision; never cached.
+fn evicted_reply(inner: &Arc<Inner>, query: &Query, lane: Lane) -> Reply {
+    let line = bounds_reply(
+        query,
+        &inner.cfg.default_budgets,
+        inner.cfg.default_deadline_ms,
+        "evicted",
+    );
+    let outcome = if line.starts_with("OK") {
+        inner.stats.bump(&inner.stats.ok);
+        ReqOutcome::Bounded
+    } else {
+        inner.stats.bump(&inner.stats.errors);
+        ReqOutcome::Err
+    };
+    inner
+        .telemetry
+        .metrics
+        .observe_admission(req_lane(lane), AdmitDecision::Evicted);
+    Reply {
+        line,
+        outcome,
+        engine: Duration::ZERO,
+        formula: query.formula_text.clone(),
+    }
+}
+
 /// Computes the response for one query. Runs on a worker, inside its
-/// unwind boundary.
-fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
+/// unwind boundary. `queue_wait` is how long the request sat queued —
+/// with [`AdmissionConfig::deadline_propagation`] it shrinks the
+/// governed deadline so queue wait cannot overshoot the client's
+/// budget.
+fn process(inner: &Arc<Inner>, query: &Query, queue_wait: Duration) -> Reply {
     let id = &query.id;
     let raw_err = |line: String| Reply {
         line,
@@ -916,7 +1173,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
         }
         // Verify mode: recompute this hit and alarm on mismatch.
         let engine_start = Instant::now();
-        let (fresh, _) = compute(inner, query, &space, &formula, &vars, &poly);
+        let (fresh, _) = compute(inner, query, queue_wait, &space, &formula, &vars, &poly);
         let engine = engine_start.elapsed();
         if fresh != payload {
             inner.stats.bump(&inner.stats.verify_mismatches);
@@ -937,7 +1194,7 @@ fn process(inner: &Arc<Inner>, query: &Query) -> Reply {
     trace::bump(Counter::ServeCacheMisses);
 
     let engine_start = Instant::now();
-    let (payload, outcome) = compute(inner, query, &space, &formula, &vars, &poly);
+    let (payload, outcome) = compute(inner, query, queue_wait, &space, &formula, &vars, &poly);
     let engine = engine_start.elapsed();
     let (line, outcome) = match outcome {
         ComputeOutcome::Exact => {
@@ -975,6 +1232,7 @@ enum ComputeOutcome {
 fn compute(
     inner: &Arc<Inner>,
     query: &Query,
+    queue_wait: Duration,
     space: &Space,
     formula: &presburger_omega::Formula,
     vars: &[presburger_omega::VarId],
@@ -991,6 +1249,15 @@ fn compute(
     let mut budgets = query.overrides.budgets(&inner.cfg.default_budgets);
     if budgets.deadline.is_none() {
         budgets.deadline = inner.cfg.default_deadline_ms.map(Duration::from_millis);
+    }
+    // Cooperative deadline propagation: time the request burned in the
+    // queue comes out of its execution budget (floored at 1 ms so the
+    // governed run still answers — with bounds — instead of hanging the
+    // overshoot on the client).
+    if inner.cfg.admission.deadline_propagation {
+        if let Some(d) = budgets.deadline {
+            budgets.deadline = Some(d.saturating_sub(queue_wait).max(Duration::from_millis(1)));
+        }
     }
 
     if plan == Plan::Degrade {
@@ -1123,6 +1390,19 @@ pub(crate) fn fallback_reply(
     default_budgets: &Budgets,
     default_deadline_ms: Option<u64>,
 ) -> String {
+    bounds_reply(query, default_budgets, default_deadline_ms, "failover")
+}
+
+/// A self-contained budgeted §4.6 bound reply: `OK <id> bounded <why>
+/// lo ; hi`, or an `ERR` when the query does not even parse. Shared by
+/// the supervisor's orphan fallback (`why = "failover"`) and
+/// expired-request eviction (`why = "evicted"`).
+pub(crate) fn bounds_reply(
+    query: &Query,
+    default_budgets: &Budgets,
+    default_deadline_ms: Option<u64>,
+    why: &str,
+) -> String {
     let id = &query.id;
     let mut space = Space::new();
     for v in &query.vars {
@@ -1153,12 +1433,16 @@ pub(crate) fn fallback_reply(
         ..CountOptions::default()
     };
     let mut budgets = query.overrides.budgets(default_budgets);
-    if budgets.deadline.is_none() {
-        budgets.deadline = default_deadline_ms.map(Duration::from_millis);
-    }
+    // The rescue pass keeps the request's *structural* budget overrides
+    // (splinter/clause/depth caps) but runs under the server's default
+    // deadline, never the request's own: a rescue fires precisely
+    // because that deadline already lapsed (eviction) or the request
+    // outlived its shard (failover), and a 0 ms leftover would make the
+    // answer-of-last-resort itself fail.
+    budgets.deadline = default_deadline_ms.map(Duration::from_millis);
     match bounds(&space, &formula, &vars, &poly, &opts, budgets) {
         Ok((lo, hi)) => format!(
-            "OK {id} bounded failover {} ; {}",
+            "OK {id} bounded {why} {} ; {}",
             protocol::sanitize(&lo),
             protocol::sanitize(&hi)
         ),
@@ -1201,6 +1485,22 @@ pub trait Service: Clone + Send + Sync + 'static {
     fn shards_text(&self) -> String;
     /// Whether a drain has completed.
     fn is_drained(&self) -> bool;
+    /// Whether the service meters per-client quotas. Connection drivers
+    /// then stamp a connection-scoped identity (`@conn-<n>`, outside
+    /// the `client=` charset so it can never collide) on queries that
+    /// carry none — the default scope the tentpole spec asks for.
+    fn wants_client_identity(&self) -> bool {
+        false
+    }
+}
+
+/// Process-wide connection sequence for synthetic `@conn-<n>` quota
+/// identities.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh connection-scoped quota identity.
+pub(crate) fn next_conn_client() -> String {
+    format!("@conn-{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
 impl Service for Handle {
@@ -1243,6 +1543,9 @@ impl Service for Handle {
     fn is_drained(&self) -> bool {
         Handle::is_drained(self)
     }
+    fn wants_client_identity(&self) -> bool {
+        self.inner.ledger.is_some()
+    }
 }
 
 /// Serves one connection: reads newline-delimited requests from
@@ -1284,6 +1587,10 @@ pub fn serve_connection<S: Service>(
             },
         )?;
 
+    // Quota identity of queries on this connection that carry no
+    // `client=` option (only minted when the service meters quotas, so
+    // quota-free servers stay allocation-identical).
+    let conn_client = handle.wants_client_identity().then(next_conn_client);
     let mut saw_drain = false;
     for line in reader.lines() {
         let line = match line {
@@ -1300,7 +1607,12 @@ pub fn serve_connection<S: Service>(
         }
         handle.observe_wire(ReqCodec::Text, None);
         let slot = match parse_request(trimmed) {
-            Ok(Request::Query(q)) => handle.submit(q),
+            Ok(Request::Query(mut q)) => {
+                if q.client.is_none() {
+                    q.client = conn_client.clone();
+                }
+                handle.submit(q)
+            }
             Ok(Request::Ping(id)) => Slot::ready(match id {
                 Some(id) => format!("PONG {id}"),
                 None => "PONG".to_string(),

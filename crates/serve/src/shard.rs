@@ -45,6 +45,7 @@
 //!
 //! See DESIGN.md §14 for the full design rationale.
 
+use crate::admission::{self, QuotaLedger};
 use crate::chaos::Chaos;
 use crate::protocol::{shed_line, Query, ServeError, Verb};
 use crate::server::{self, Handle, Refusal, ServeConfig, Server, Service, Slot};
@@ -263,6 +264,12 @@ struct PoolInner {
     /// by shard. Lock-free so the hot submit path never contends with
     /// the supervisor.
     rows: Vec<Arc<ShardRow>>,
+    /// The pool-wide quota ledger (when `shard_cfg.admission.quota` is
+    /// set), shared by every shard *including supervisor restarts* so a
+    /// client's token bucket survives failover. Metered only at the
+    /// pool front door ([`PoolHandle::submit`]) — never inside the
+    /// routing loop, where a failover hop would double-charge.
+    ledger: Option<Arc<QuotaLedger>>,
     draining: AtomicBool,
     drained: AtomicBool,
 }
@@ -305,10 +312,16 @@ impl ShardPool {
         let shards_n = cfg.shards.max(1);
         let ring = Ring::new(shards_n, cfg.vnodes);
         let rows: Vec<Arc<ShardRow>> = (0..shards_n).map(|_| Arc::new(ShardRow::new())).collect();
+        let ledger = cfg
+            .shard_cfg
+            .admission
+            .quota
+            .map(|q| Arc::new(QuotaLedger::new(q, cfg.shard_cfg.admission.max_clients)));
         let now = Instant::now();
         let states: Vec<ShardState> = (0..shards_n)
             .map(|i| {
-                let server = Server::start(shard_server_cfg(&cfg, i, &chaos));
+                let server =
+                    Server::start_shared(shard_server_cfg(&cfg, i, &chaos), ledger.clone());
                 let handle = server.handle();
                 ShardState {
                     server: Some(server),
@@ -329,6 +342,7 @@ impl ShardPool {
             shards: Mutex::new(states),
             orphans: Mutex::new(Vec::new()),
             rows,
+            ledger,
             draining: AtomicBool::new(false),
             drained: AtomicBool::new(false),
         });
@@ -401,17 +415,41 @@ impl PoolHandle {
     /// accepting shard *is* delivered as `SHED`. If every shard is down
     /// at once, the request is answered inline with the §4.6 fallback —
     /// never silence.
+    ///
+    /// Admission (DESIGN.md §16) happens *here*, once, before routing:
+    /// the per-client quota is metered against the pool-shared ledger
+    /// (so a failover hop can never double-charge), and a request whose
+    /// effective deadline is already zero is answered immediately with
+    /// §4.6 bounds instead of being queued. Both decisions are charged
+    /// to the routed shard's counters, keeping `shards`/`STATS` rows a
+    /// pure function of the request stream at any shard count.
     pub fn submit(&self, query: Query) -> Arc<Slot> {
         let inner = &self.inner;
+        let lane = query.lane();
         if inner.draining.load(Ordering::Relaxed) {
-            return Slot::ready(shed_line(
-                &query.id,
-                inner.cfg.shard_cfg.retry_after_ms,
+            let hint = inner.cfg.shard_cfg.retry_after_ms;
+            let reason = admission::shed_reason(
                 "draining",
-            ));
+                lane,
+                hint,
+                inner.cfg.shard_cfg.admission.detail,
+            );
+            return Slot::ready(shed_line(&query.id, hint, &reason));
         }
         let n = inner.rows.len();
         let target = inner.ring.route(routing_hash(&query));
+        let evict_now = inner.cfg.shard_cfg.admission.evict_expired
+            && server::effective_deadline_ms(&inner.cfg.shard_cfg, &query) == Some(0);
+        if inner.ledger.is_some() || evict_now {
+            let target_handle = lock_ok(&inner.shards)[target].handle.clone();
+            if let Some(line) = target_handle.check_quota(&query) {
+                target_handle.note_shed(Refusal::Quota, query.verb, lane);
+                return Slot::ready(line);
+            }
+            if evict_now {
+                return Slot::ready(target_handle.evict_reply(&query, lane));
+            }
+        }
         let slot = Slot::new();
         for off in 0..n {
             let i = (target + off) % n;
@@ -440,9 +478,12 @@ impl PoolHandle {
                     Refusal::Draining => continue,
                     // Genuine backpressure: deliver the shed.
                     Refusal::QueueFull => {
-                        handle.note_shed(Refusal::QueueFull, query.verb);
+                        handle.note_shed(Refusal::QueueFull, query.verb, query.lane());
                         return Slot::ready(refused.line);
                     }
+                    // Quotas are metered at the front door only;
+                    // `try_enqueue` never produces this.
+                    Refusal::Quota => unreachable!("try_enqueue never sheds on quota"),
                 },
             }
         }
@@ -650,6 +691,9 @@ impl Service for PoolHandle {
     fn is_drained(&self) -> bool {
         PoolHandle::is_drained(self)
     }
+    fn wants_client_identity(&self) -> bool {
+        self.inner.ledger.is_some()
+    }
 }
 
 /// Backoff before restart number `consecutive` (1-based): base doubled
@@ -676,7 +720,10 @@ fn supervise_tick(inner: &Arc<PoolInner>) {
             st.pending.retain(|t| !t.slot.is_done());
             if let Some(at) = st.restart_at {
                 if now >= at && !pool_draining {
-                    let server = Server::start(shard_server_cfg(cfg, i, &cfg.chaos));
+                    let server = Server::start_shared(
+                        shard_server_cfg(cfg, i, &cfg.chaos),
+                        inner.ledger.clone(),
+                    );
                     st.handle = server.handle();
                     st.server = Some(server);
                     st.epoch += 1;

@@ -31,7 +31,7 @@
 //! it enabled (`serve_stress` phase 1 runs with the defaults on).
 
 use crate::sync::lock_ok;
-use presburger_trace::metrics::{ReqOutcome, ReqVerb, RequestMetrics, RequestObservation};
+use presburger_trace::metrics::{ReqLane, ReqOutcome, ReqVerb, RequestMetrics, RequestObservation};
 use presburger_trace::{self as trace, json::JsonObject, PipelineStats, SpanTree};
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
@@ -120,6 +120,9 @@ pub struct RequestTelemetry {
     pub verb: ReqVerb,
     /// Outcome class of the reply.
     pub outcome: ReqOutcome,
+    /// The priority lane the request rode through admission
+    /// (`Batch` when it carried no `prio=` override).
+    pub lane: ReqLane,
     /// Admission → worker pop.
     pub queue_wait: Duration,
     /// Worker pop → reply rendered (end-to-end execution time).
@@ -280,6 +283,7 @@ impl Telemetry {
         self.metrics.observe_request(RequestObservation {
             verb: telem.verb,
             outcome: telem.outcome,
+            lane: telem.lane,
             duration_us: total_us,
             queue_wait_us,
             govern_overhead_us: total_us.saturating_sub(engine_us),
@@ -479,6 +483,7 @@ mod tests {
             id: id.to_string(),
             verb: ReqVerb::Count,
             outcome: ReqOutcome::Ok,
+            lane: ReqLane::Batch,
             queue_wait: Duration::from_micros(5),
             total: Duration::from_micros(total_us),
             engine: Duration::from_micros(total_us / 2),

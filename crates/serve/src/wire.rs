@@ -54,6 +54,7 @@
 //!
 //! See DESIGN.md §15 for the full byte layout and rationale.
 
+use crate::admission::Lane;
 use crate::protocol::{
     self, err_line, ProtocolError, Query, Request, ServeError, Verb, MAX_LINE_LEN,
 };
@@ -235,6 +236,7 @@ fn put_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
 /// One decoded frame on the request side of a connection: a single
 /// request, or a batch of them.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // transient, like `Request` itself
 pub enum WireRequest {
     /// A single request (same set as the text protocol).
     One(Request),
@@ -244,7 +246,8 @@ pub enum WireRequest {
 }
 
 /// The override presence bitmask, in fixed field order (bit 0 first).
-const OVERRIDE_BITS: usize = 7;
+/// Bit 7 is the priority lane (`prio=`), encoded as [`Lane::wire`].
+const OVERRIDE_BITS: usize = 8;
 
 fn override_values(q: &Query) -> [Option<u64>; OVERRIDE_BITS] {
     let o = &q.overrides;
@@ -256,6 +259,7 @@ fn override_values(q: &Query) -> [Option<u64>; OVERRIDE_BITS] {
         o.max_pieces,
         o.max_coeff_bits,
         o.threads.map(|t| t as u64),
+        o.prio.map(Lane::wire),
     ]
 }
 
@@ -283,6 +287,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             payload.push(mask);
             for v in values.iter().flatten() {
                 put_varint(&mut payload, *v);
+            }
+            // Optional trailing client section: emitted only when a
+            // quota identity is present (presence byte 1 + string), so
+            // every pre-admission encoding stays byte-identical.
+            if let Some(client) = &q.client {
+                payload.push(1);
+                put_str(&mut payload, client);
             }
             match q.verb {
                 Verb::Count => TAG_COUNT,
@@ -385,15 +396,30 @@ fn decode_query(tag: u8, payload: &[u8]) -> Result<Query, ProtocolError> {
         return Err(werr(format!("formula exceeds {MAX_LINE_LEN} bytes")));
     }
     let mask = cur.u8()?;
-    if mask >= 1 << OVERRIDE_BITS {
-        return Err(werr(format!("unknown override bits 0x{mask:02x}")));
-    }
     let mut values = [None; OVERRIDE_BITS];
     for (bit, slot) in values.iter_mut().enumerate() {
         if mask & (1 << bit) != 0 {
             *slot = Some(cur.varint()?);
         }
     }
+    // Optional trailing client section: present exactly when bytes
+    // remain (presence byte must be 1 — a 0 would be a non-canonical
+    // way to spell "no client", so it is rejected).
+    let client = if cur.pos < cur.buf.len() {
+        let presence = cur.u8()?;
+        if presence != 1 {
+            return Err(werr(format!(
+                "client presence byte must be 1, got {presence}"
+            )));
+        }
+        let c = cur.str_()?;
+        if !protocol::valid_id(&c) {
+            return Err(werr(format!("invalid client {c:?}")));
+        }
+        Some(c)
+    } else {
+        None
+    };
     cur.finish()?;
     let mut overrides = crate::protocol::Overrides {
         deadline_ms: values[0],
@@ -403,6 +429,7 @@ fn decode_query(tag: u8, payload: &[u8]) -> Result<Query, ProtocolError> {
         max_pieces: values[4],
         max_coeff_bits: values[5],
         threads: None,
+        prio: None,
     };
     if let Some(t) = values[6] {
         // Canonical: the text path clamps threads to 16; the binary
@@ -412,6 +439,10 @@ fn decode_query(tag: u8, payload: &[u8]) -> Result<Query, ProtocolError> {
         }
         overrides.threads = Some(t as usize);
     }
+    if let Some(p) = values[7] {
+        overrides.prio =
+            Some(Lane::from_wire(p).ok_or_else(|| werr(format!("unknown priority lane {p}")))?);
+    }
     Ok(Query {
         id,
         verb,
@@ -419,6 +450,7 @@ fn decode_query(tag: u8, payload: &[u8]) -> Result<Query, ProtocolError> {
         vars,
         formula_text,
         overrides,
+        client,
     })
 }
 
@@ -556,7 +588,9 @@ pub enum Reply {
         id: String,
         /// Server backoff hint.
         retry_after_ms: u64,
-        /// `queue_full` or `draining`.
+        /// The shed reason token (`queue_full`, `draining`, `quota`,
+        /// optionally extended with `:lane=…:wait_ms=…` detail —
+        /// always space-free).
         reason: String,
     },
     /// `PONG [id]`.
@@ -945,13 +979,17 @@ fn dispatch_batch<S: Service>(
     handle: &S,
     reqs: Vec<Request>,
     saw_drain: &mut bool,
+    conn_client: &Option<String>,
 ) -> Vec<Arc<Slot>> {
     let mut slots: Vec<Option<Arc<Slot>>> = Vec::with_capacity(reqs.len());
     let mut queries = Vec::new();
     let mut query_pos = Vec::new();
     for (i, req) in reqs.into_iter().enumerate() {
         match req {
-            Request::Query(q) => {
+            Request::Query(mut q) => {
+                if q.client.is_none() {
+                    q.client = conn_client.clone();
+                }
                 query_pos.push(i);
                 queries.push(q);
                 slots.push(None);
@@ -1034,6 +1072,14 @@ pub fn serve_binary_connection<S: Service>(
     writer.write_all(&preamble())?;
     writer.flush()?;
 
+    // Quota identity for requests that carry no explicit `client`
+    // field: minted per connection, exactly like the text driver, and
+    // only when the service actually meters quotas — so a quota-free
+    // server stays behavior-identical.
+    let conn_client = handle
+        .wants_client_identity()
+        .then(crate::server::next_conn_client);
+
     // Per-connection FIFO writer, exactly like the text driver — but
     // emitting frames, and gathering whole batches into one write.
     let (tx, rx) = mpsc::channel::<Out>();
@@ -1083,7 +1129,7 @@ pub fn serve_binary_connection<S: Service>(
             match decode_batch_payload(&payload) {
                 Ok(reqs) => {
                     handle.observe_wire(ReqCodec::Binary, Some(reqs.len() as u64));
-                    Out::Many(dispatch_batch(handle, reqs, &mut saw_drain))
+                    Out::Many(dispatch_batch(handle, reqs, &mut saw_drain, &conn_client))
                 }
                 Err(e) => Out::One(Slot::ready(err_line(
                     e.id.as_deref().unwrap_or("-"),
@@ -1094,7 +1140,12 @@ pub fn serve_binary_connection<S: Service>(
         } else {
             handle.observe_wire(ReqCodec::Binary, None);
             match decode_request_payload(tag, &payload) {
-                Ok(Request::Query(q)) => Out::One(handle.submit(q)),
+                Ok(Request::Query(mut q)) => {
+                    if q.client.is_none() {
+                        q.client = conn_client.clone();
+                    }
+                    Out::One(handle.submit(q))
+                }
                 Ok(req) => Out::One(control_slot(handle, req, &mut saw_drain)),
                 Err(e) => Out::One(Slot::ready(err_line(
                     e.id.as_deref().unwrap_or("-"),
@@ -1223,6 +1274,9 @@ mod tests {
             "count r2 deadline_ms=500 max_splinters=8 {i,j : 1 <= i <= j <= n}",
             "sum s7 x + 2y {x,y : 0 <= x <= 3 && 0 <= y <= x}",
             "sum s8 threads=4 max_depth=9 x {x : 1 <= x <= 5}",
+            "count r3 prio=interactive {x : 1 <= x && x <= 9}",
+            "count r4 prio=background client=alice {x : x = 1}",
+            "sum s9 prio=batch client=c0 deadline_ms=9 x {x : 1 <= x <= 5}",
             "ping",
             "ping p1",
             "stats",
@@ -1364,5 +1418,48 @@ mod tests {
         q2.id = "bad id!".to_string();
         let bytes = encode_request(&Request::Query(q2));
         assert_eq!(decode_wire_request(&bytes).unwrap_err().kind, "wire");
+        // Invalid client identity.
+        let mut q3 = match req("count r1 client=ok {x : x = 1}") {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        q3.client = Some("bad client!".to_string());
+        let bytes = encode_request(&Request::Query(q3));
+        assert_eq!(decode_wire_request(&bytes).unwrap_err().kind, "wire");
+    }
+
+    #[test]
+    fn prio_and_client_sections_are_canonical() {
+        // An out-of-range lane value is rejected.
+        let q = match req("count r1 prio=background {x : x = 1}") {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        let good = encode_request(&Request::Query(q.clone()));
+        // Locate the prio varint: it is the last payload byte (lane 2).
+        assert_eq!(*good.last().unwrap(), 2);
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() = 3;
+        assert_eq!(decode_wire_request(&bad).unwrap_err().kind, "wire");
+        // A zero client-presence byte is non-canonical: "no client" is
+        // spelled by omitting the section entirely.
+        let with_client = match req("count r1 client=c0 {x : x = 1}") {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        let bytes = encode_request(&Request::Query(with_client));
+        let plain = encode_request(&Request::Query(q));
+        // presence byte sits right after the shared prefix... build a
+        // padded frame by hand instead: plain query + presence byte 0.
+        let (tag, payload) = (plain[0], &plain[2..]);
+        let mut padded_payload = payload.to_vec();
+        padded_payload.push(0);
+        let mut padded = Vec::new();
+        put_frame(&mut padded, tag, &padded_payload);
+        assert_eq!(decode_wire_request(&padded).unwrap_err().kind, "wire");
+        // And the real client section round-trips canonically.
+        let (decoded, used) = decode_wire_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(encode_wire_request(&decoded).unwrap(), bytes);
     }
 }

@@ -112,6 +112,17 @@ fn golden_metrics_exposition() {
     ] {
         assert!(text.contains(want), "missing {want:?} in:\n{text}");
     }
+    // Admission families (DESIGN.md §16): every request above rode the
+    // default batch lane; the post-drain shed is a drain decision.
+    for want in [
+        "# TYPE presburger_admission_total counter",
+        "presburger_admission_total{lane=\"batch\",decision=\"admit\"}",
+        "presburger_admission_total{lane=\"batch\",decision=\"shed_drain\"} 1",
+        "# TYPE presburger_lane_queue_wait_us histogram",
+        "# TYPE presburger_lane_service_us histogram",
+    ] {
+        assert!(text.contains(want), "missing {want:?} in:\n{text}");
+    }
 
     let masked = mask_values(&text);
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");

@@ -16,8 +16,8 @@
 use presburger_counting::Budgets;
 use presburger_serve::server::Gate;
 use presburger_serve::{
-    parse_request, routing_hash, Chaos, PoolTcpServer, Request, RetryPolicy, Ring, ServeConfig,
-    ShardPoolConfig, TcpServer,
+    parse_request, routing_hash, AdmissionConfig, Chaos, PoolTcpServer, QuotaConfig, Request,
+    RetryPolicy, Ring, ServeConfig, ShardPoolConfig, TcpServer,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -420,6 +420,81 @@ fn golden_shard_wedge_restart_session() {
     let got = run_pool_session(cfg, &steps, 400);
     let want = failover_want("OK w1 exact 8", armed, "wedge", "OK w3 exact 8");
     check("shard-wedge-restart", &got, &want);
+}
+
+#[test]
+fn golden_quota_session() {
+    // Per-client quota (DESIGN.md §16): burst 2, refill 250 milli-
+    // tokens per logical tick, 100 ms advertised per tick. One
+    // connection = one client, and the bucket's logical clock advances
+    // once per request — so the admit/shed pattern and every computed
+    // `retry_after_ms` are pure functions of the request ordinals:
+    // admit, admit, shed(200), shed(100), admit, shed(300).
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            quota: Some(QuotaConfig {
+                burst: 2,
+                refill_milli: 250,
+                tick_ms: 100,
+            }),
+            detail: true,
+            ..AdmissionConfig::default()
+        },
+        ..base_cfg()
+    };
+    let steps = [
+        Step("count q1 {x : 1 <= x <= 9}", 1),
+        Step("count q2 {x : 1 <= x <= 9}", 1),
+        Step("count q3 {x : 1 <= x <= 9}", 1),
+        Step("count q4 {x : 1 <= x <= 9}", 1),
+        Step("count q5 {x : 1 <= x <= 9}", 1),
+        Step("count q6 {x : 1 <= x <= 9}", 1),
+        Step("stats", 1),
+        Step("drain", 0),
+    ];
+    let got = run_session(cfg, &steps, None);
+    // Quota sheds fold into shed_queue on the pinned STATS line; the
+    // Prometheus admission family keeps the split.
+    let want = "OK q1 exact 9\n\
+OK q2 exact 9\n\
+SHED q3 retry_after_ms=200 reason=quota:lane=batch:wait_ms=200\n\
+SHED q4 retry_after_ms=100 reason=quota:lane=batch:wait_ms=100\n\
+OK q5 exact 9\n\
+SHED q6 retry_after_ms=300 reason=quota:lane=batch:wait_ms=300\n\
+STATS admitted=3 ok=3 errors=0 shed_queue=3 shed_drain=0 cache_hits=2 cache_misses=1 cache_entries=1 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+STATS admitted=3 ok=3 errors=0 shed_queue=3 shed_drain=0 cache_hits=2 cache_misses=1 cache_entries=1 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=1\n\
+BYE\n";
+    check("quota", &got, want);
+}
+
+#[test]
+fn golden_eviction_session() {
+    // Expired-request eviction (DESIGN.md §16). e0 arrives with
+    // `deadline_ms=0` — already expired at admission — and is answered
+    // immediately with §4.6 bounds, never queued. e1's 1 ms deadline
+    // lapses while the gate holds the worker (~100 ms), so the pop-time
+    // check answers it with the same budgeted bounds instead of burning
+    // the worker on it; e2 (no deadline) then computes exactly. Both
+    // evictions count as admitted+ok: the client got a bounded answer,
+    // not a refusal.
+    let gate = Gate::new(true);
+    let cfg = ServeConfig {
+        hold: Some(gate.clone()),
+        ..base_cfg()
+    };
+    let steps = [
+        Step("count e0 deadline_ms=0 {x : 1 <= x <= 9}", 1),
+        Step("count e1 deadline_ms=1 {x : 1 <= x <= 9}", 0),
+        Step("count e2 {x : 1 <= x <= 9}", 0),
+        Step("drain", 0),
+    ];
+    let got = run_session(cfg, &steps, Some(&gate));
+    let want = "OK e0 bounded evicted 9 ; 9\n\
+OK e1 bounded evicted 9 ; 9\n\
+OK e2 exact 9\n\
+STATS admitted=3 ok=3 errors=0 shed_queue=0 shed_drain=0 cache_hits=0 cache_misses=1 cache_entries=1 verify_mismatches=0 breaker=closed breaker_opens=0 degraded_first=0 drain_bounded=0 queue_depth_peak=2\n\
+BYE\n";
+    check("eviction", &got, want);
 }
 
 #[test]

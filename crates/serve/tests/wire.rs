@@ -20,8 +20,8 @@ use presburger_gen::{batched_request_lines, request_lines, GenConfig};
 use presburger_serve::server::Gate;
 use presburger_serve::wire::{self, Reply};
 use presburger_serve::{
-    parse_request, Chaos, PoolTcpServer, Request, RetryPolicy, Ring, ServeConfig, ShardPoolConfig,
-    TcpServer,
+    parse_request, AdmissionConfig, Chaos, PoolTcpServer, QuotaConfig, Request, RetryPolicy, Ring,
+    ServeConfig, ShardPoolConfig, TcpServer,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -464,6 +464,60 @@ fn differential_breaker_sessions() {
         &recovery_steps,
         |_| None,
     );
+}
+
+#[test]
+fn differential_quota_session() {
+    // The quota worked example (burst 2, refill 250, tick 100 ms) over
+    // both codecs: the connection-scoped client identity, the lane
+    // field and the detailed `reason=` token all survive the binary
+    // frames, so admit/shed decisions and hints replay byte-identically.
+    let steps = [
+        Step("count q1 {x : 1 <= x <= 9}", 1),
+        Step("count q2 {x : 1 <= x <= 9}", 1),
+        Step("count q3 {x : 1 <= x <= 9}", 1),
+        Step("count q4 {x : 1 <= x <= 9}", 1),
+        Step("count q5 {x : 1 <= x <= 9}", 1),
+        Step("count q6 {x : 1 <= x <= 9}", 1),
+        Step("stats", 1),
+        Step("drain", 0),
+    ];
+    assert_differential(
+        "quota",
+        || ServeConfig {
+            admission: AdmissionConfig {
+                quota: Some(QuotaConfig {
+                    burst: 2,
+                    refill_milli: 250,
+                    tick_ms: 100,
+                }),
+                detail: true,
+                ..AdmissionConfig::default()
+            },
+            ..base_cfg()
+        },
+        &steps,
+        |_| None,
+    );
+}
+
+#[test]
+fn differential_eviction_session() {
+    // Admission-time (deadline_ms=0) and pop-time (deadline_ms=1 behind
+    // a held worker) eviction produce the same `OK … bounded evicted`
+    // replies over either codec; the varint deadline override survives
+    // the binary frame.
+    let steps = [
+        Step("count e0 deadline_ms=0 {x : 1 <= x <= 9}", 1),
+        Step("count e1 deadline_ms=1 {x : 1 <= x <= 9}", 0),
+        Step("count e2 {x : 1 <= x <= 9}", 0),
+        Step("drain", 0),
+    ];
+    let mk_cfg = || ServeConfig {
+        hold: Some(Gate::new(true)),
+        ..base_cfg()
+    };
+    assert_differential("eviction", mk_cfg, &steps, |cfg| cfg.hold.clone());
 }
 
 /// Deterministic 2-shard pool config (the `tests/protocol.rs` harness).

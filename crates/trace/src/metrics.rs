@@ -297,6 +297,77 @@ impl ReqOutcome {
     }
 }
 
+/// The priority-lane dimension of the admission metric families (see
+/// `serve::admission`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqLane {
+    /// Latency-sensitive traffic.
+    Interactive = 0,
+    /// The default lane.
+    Batch = 1,
+    /// Best-effort traffic.
+    Background = 2,
+}
+
+/// Number of lane labels.
+pub const NUM_LANES: usize = 3;
+
+impl ReqLane {
+    /// Every lane, in stable exposition order (priority order).
+    pub const ALL: [ReqLane; NUM_LANES] =
+        [ReqLane::Interactive, ReqLane::Batch, ReqLane::Background];
+
+    /// The stable label value used in exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqLane::Interactive => "interactive",
+            ReqLane::Batch => "batch",
+            ReqLane::Background => "background",
+        }
+    }
+}
+
+/// The decision dimension of the admission counter family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Admitted to the worker queue.
+    Admit = 0,
+    /// Shed by the per-client token-bucket quota.
+    ShedQuota = 1,
+    /// Shed because the bounded queue was full.
+    ShedQueue = 2,
+    /// Shed because the server was draining.
+    ShedDrain = 3,
+    /// Deadline elapsed in queue; answered with §4.6 bounds instead of
+    /// burning a worker.
+    Evicted = 4,
+}
+
+/// Number of admission-decision labels.
+pub const NUM_DECISIONS: usize = 5;
+
+impl AdmitDecision {
+    /// Every decision, in stable exposition order.
+    pub const ALL: [AdmitDecision; NUM_DECISIONS] = [
+        AdmitDecision::Admit,
+        AdmitDecision::ShedQuota,
+        AdmitDecision::ShedQueue,
+        AdmitDecision::ShedDrain,
+        AdmitDecision::Evicted,
+    ];
+
+    /// The stable label value used in exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmitDecision::Admit => "admit",
+            AdmitDecision::ShedQuota => "shed_quota",
+            AdmitDecision::ShedQueue => "shed_queue",
+            AdmitDecision::ShedDrain => "shed_drain",
+            AdmitDecision::Evicted => "evicted",
+        }
+    }
+}
+
 /// The wire-codec dimension of the per-codec request counter family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReqCodec {
@@ -330,6 +401,9 @@ pub struct RequestObservation {
     pub verb: ReqVerb,
     /// How the request was answered.
     pub outcome: ReqOutcome,
+    /// The priority lane the request rode (`Batch` when no `prio=`
+    /// override was given).
+    pub lane: ReqLane,
     /// End-to-end latency (worker pop to reply ready), microseconds.
     pub duration_us: u64,
     /// Time spent queued before a worker picked the request up.
@@ -357,6 +431,9 @@ pub struct RequestMetrics {
     events_logged: AtomicU64,
     events_dropped: AtomicU64,
     flight_records: AtomicU64,
+    admission: [[AtomicU64; NUM_DECISIONS]; NUM_LANES],
+    lane_queue_wait_us: [Histogram; NUM_LANES],
+    lane_service_us: [Histogram; NUM_LANES],
 }
 
 impl RequestMetrics {
@@ -374,6 +451,9 @@ impl RequestMetrics {
             events_logged: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
             flight_records: AtomicU64::new(0),
+            admission: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            lane_queue_wait_us: std::array::from_fn(|_| Histogram::new()),
+            lane_service_us: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -404,6 +484,35 @@ impl RequestMetrics {
         if let Some(s) = obs.splinters {
             self.splinters[v].record(s);
         }
+        let l = obs.lane as usize;
+        self.lane_queue_wait_us[l].record(obs.queue_wait_us);
+        self.lane_service_us[l].record(obs.duration_us);
+    }
+
+    /// Counts one admission decision in the `{lane, decision}` family.
+    /// A no-op when disabled.
+    #[inline]
+    pub fn observe_admission(&self, lane: ReqLane, decision: AdmitDecision) {
+        if !self.enabled() {
+            return;
+        }
+        self.admission[lane as usize][decision as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `{lane, decision}` admission count.
+    pub fn admission_total(&self, lane: ReqLane, decision: AdmitDecision) -> u64 {
+        self.admission[lane as usize][decision as usize].load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of one lane's queue-wait histogram.
+    pub fn lane_queue_wait(&self, lane: ReqLane) -> HistogramSnapshot {
+        self.lane_queue_wait_us[lane as usize].snapshot()
+    }
+
+    /// A snapshot of one lane's service-time (worker pop to reply)
+    /// histogram — the load-derived backpressure hint reads its mean.
+    pub fn lane_service(&self, lane: ReqLane) -> HistogramSnapshot {
+        self.lane_service_us[lane as usize].snapshot()
     }
 
     /// Records a shed request (it never reached a worker, so only the
@@ -644,6 +753,48 @@ impl RequestMetrics {
             "presburger_flight_records_total {}\n",
             self.flight_records()
         ));
+        out.push_str(
+            "# HELP presburger_admission_total Admission decisions by priority lane.\n\
+             # TYPE presburger_admission_total counter\n",
+        );
+        for l in ReqLane::ALL {
+            for d in AdmitDecision::ALL {
+                let n = self.admission_total(l, d);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "presburger_admission_total{{lane=\"{}\",decision=\"{}\"}} {n}\n",
+                        l.label(),
+                        d.label()
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP presburger_lane_queue_wait_us Admission-queue wait by priority lane, \
+             microseconds.\n# TYPE presburger_lane_queue_wait_us histogram\n",
+        );
+        for l in ReqLane::ALL {
+            let labels = format!("lane=\"{}\"", l.label());
+            render_histogram_series(
+                &mut out,
+                "presburger_lane_queue_wait_us",
+                &labels,
+                &self.lane_queue_wait(l),
+            );
+        }
+        out.push_str(
+            "# HELP presburger_lane_service_us Worker service time (pop to reply) by priority \
+             lane, microseconds.\n# TYPE presburger_lane_service_us histogram\n",
+        );
+        for l in ReqLane::ALL {
+            let labels = format!("lane=\"{}\"", l.label());
+            render_histogram_series(
+                &mut out,
+                "presburger_lane_service_us",
+                &labels,
+                &self.lane_service(l),
+            );
+        }
         out
     }
 }
@@ -796,6 +947,7 @@ mod tests {
         m.observe_request(RequestObservation {
             verb: ReqVerb::Count,
             outcome: ReqOutcome::Ok,
+            lane: ReqLane::Interactive,
             duration_us: 800,
             queue_wait_us: 3,
             govern_overhead_us: 90,
@@ -809,6 +961,48 @@ mod tests {
         assert_eq!(m.govern_overhead(ReqVerb::Count).sum, 90);
         assert_eq!(m.splinters(ReqVerb::Count).sum, 17);
         assert_eq!(m.duration_merged(None).count, 1);
+        assert_eq!(m.lane_queue_wait(ReqLane::Interactive).sum, 3);
+        assert_eq!(m.lane_service(ReqLane::Interactive).sum, 800);
+        assert!(m.lane_service(ReqLane::Batch).is_empty());
+    }
+
+    #[test]
+    fn admission_family_counts_and_renders_after_flight_records() {
+        let m = RequestMetrics::new(true);
+        m.observe_admission(ReqLane::Interactive, AdmitDecision::Admit);
+        m.observe_admission(ReqLane::Interactive, AdmitDecision::Admit);
+        m.observe_admission(ReqLane::Batch, AdmitDecision::ShedQuota);
+        m.observe_admission(ReqLane::Background, AdmitDecision::Evicted);
+        assert_eq!(
+            m.admission_total(ReqLane::Interactive, AdmitDecision::Admit),
+            2
+        );
+        assert_eq!(
+            m.admission_total(ReqLane::Batch, AdmitDecision::ShedQuota),
+            1
+        );
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("presburger_admission_total{lane=\"interactive\",decision=\"admit\"} 2")
+        );
+        assert!(
+            text.contains("presburger_admission_total{lane=\"batch\",decision=\"shed_quota\"} 1")
+        );
+        assert!(
+            text.contains("presburger_admission_total{lane=\"background\",decision=\"evicted\"} 1")
+        );
+        // Zero series are omitted; family order is flight_records then
+        // admission then the lane histograms.
+        assert!(!text.contains("decision=\"shed_drain\""));
+        let flight = text.find("presburger_flight_records_total").unwrap();
+        let admission = text.find("presburger_admission_total").unwrap();
+        let lane_wait = text.find("presburger_lane_queue_wait_us").unwrap();
+        let lane_service = text.find("presburger_lane_service_us").unwrap();
+        assert!(flight < admission && admission < lane_wait && lane_wait < lane_service);
+        // Disabled registries stay silent.
+        let off = RequestMetrics::new(false);
+        off.observe_admission(ReqLane::Batch, AdmitDecision::Admit);
+        assert_eq!(off.admission_total(ReqLane::Batch, AdmitDecision::Admit), 0);
     }
 
     #[test]
@@ -845,6 +1039,7 @@ mod tests {
         m.observe_request(RequestObservation {
             verb: ReqVerb::Count,
             outcome: ReqOutcome::Ok,
+            lane: ReqLane::Batch,
             duration_us: 800,
             queue_wait_us: 3,
             govern_overhead_us: 90,
@@ -863,6 +1058,7 @@ mod tests {
             m.observe_request(RequestObservation {
                 verb: ReqVerb::Count,
                 outcome: ReqOutcome::Ok,
+                lane: ReqLane::Batch,
                 duration_us: d,
                 queue_wait_us: 0,
                 govern_overhead_us: 1,

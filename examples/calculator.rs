@@ -58,7 +58,9 @@
 use presburger::prelude::*;
 use presburger::serve::ServeConfig;
 use presburger::trace::json::JsonObject;
-use presburger::trace::metrics::{ReqOutcome, ReqVerb, RequestMetrics, RequestObservation};
+use presburger::trace::metrics::{
+    ReqLane, ReqOutcome, ReqVerb, RequestMetrics, RequestObservation,
+};
 use presburger_counting::try_count_solutions;
 use presburger_omega::parse_formula;
 use std::time::{Duration, Instant};
@@ -483,6 +485,7 @@ fn main() {
         metrics.observe_request(RequestObservation {
             verb: ReqVerb::Count,
             outcome,
+            lane: ReqLane::Batch,
             duration_us: started.elapsed().as_micros() as u64,
             queue_wait_us: 0,
             govern_overhead_us: 0,

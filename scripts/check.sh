@@ -114,8 +114,9 @@ echo "==> serve smoke (admission, shedding, breaker, drain, replay determinism)"
 # bounds → half-open probe → recovery); graceful and zero-deadline
 # drain; the supervised shard-pool chaos drills (phase 6, DESIGN.md
 # §14); the binary-codec equality and batched-throughput phase (phase
-# 7, DESIGN.md §15 — batched binary must strictly beat text); and a
-# latency/throughput recording to BENCH_serve.json (schema v4).
+# 7, DESIGN.md §15 — batched binary must strictly beat text); the
+# admission-control phase (phase 8, DESIGN.md §16); and a
+# latency/throughput recording to BENCH_serve.json (schema v5).
 echo "    clean run (records BENCH_serve.json)"
 cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 # The same suite must hold with a panic fault armed process-wide: the
@@ -142,6 +143,31 @@ for drill in kill:1:3 wedge:0:3; do
             cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
     done
 done
+
+echo "==> admission gate (priority lanes, per-client quotas, eviction, determinism)"
+# The deadline-aware admission layer's own gate (DESIGN.md §16), run
+# as its own process twice so the soak's telemetry is not polluted by
+# the other phases:
+#   1. quota off — the phase-8 soak floods the background lane at 4×
+#      queue capacity and asserts the interactive lane's p99 stays
+#      within 3× its unloaded value with zero lost replies (every
+#      flood slot answers: served or a reasoned queue_full shed);
+#      quota on — the worked token-bucket example must replay with
+#      exact computed retry_after_ms hints, the eviction drill must
+#      answer expired requests with §4.6 bounds at admission and pop
+#      time, and the admission-optioned stream must replay
+#      byte-identically at 1/2/4 shards, chaos off and under a kill
+#      drill (failover must not re-meter the shared ledger).
+#   2. the same phase with a panic fault armed process-wide: admission
+#      decisions are made before the engine runs, so they must be
+#      untouched by panic isolation inside governed regions.
+echo "    PRESBURGER_SERVE_ADMISSION_ONLY=1 (lanes / quota / eviction / determinism)"
+PRESBURGER_SERVE_ADMISSION_ONLY=1 PRESBURGER_SERVE_BENCH_OUT="" \
+    cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
+echo "    PRESBURGER_FAULT=splinters_generated:1:panic (admission under panic isolation)"
+PRESBURGER_FAULT=splinters_generated:1:panic PRESBURGER_SERVE_ADMISSION_ONLY=1 \
+    PRESBURGER_SERVE_BENCH_OUT="" \
+    cargo run --release -q -p presburger-serve --bin serve_stress > /dev/null
 
 echo "==> wire gate (binary codec: round-trips, byte-soup fuzz, text differential)"
 # The binary wire codec's own gate (DESIGN.md §15). The hard guarantee
@@ -183,7 +209,7 @@ echo "    PRESBURGER_FAULT=splinters_generated:1 (flight recorder captures the f
 PRESBURGER_FAULT=splinters_generated:1 cargo test --release -q -p presburger-serve \
     --test metrics flight_recorder_captures_faulted_request > /dev/null
 
-echo "==> trace overhead smoke (disabled collector, governor, telemetry & memo < 5% of E3)"
+echo "==> trace overhead smoke (disabled collector, governor, telemetry, memo & admission < 5% of E3)"
 cargo run --release -p presburger-bench --bin overhead_smoke
 
 echo "All checks passed."
